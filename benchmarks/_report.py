@@ -1,0 +1,21 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper and both
+prints it (visible with ``pytest -s``) and writes it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+exact runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a figure/table reproduction and persist it."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,64 @@
+"""Ablation: recursion fan-out choice (paper Section 7.1 / Appendix).
+
+The paper divides rows 8192 -> 4096 -> 512 -> 64 -> 8 -> 1 (one halving
+then 8-way). The appendix's recurrence T(n) = aT(n/b) + O(1) admits
+other schedules; this bench uses the analytic planner to compare
+fan-out families on every vendor: binary (13 levels), the paper's
+(5 levels), and a flat 2-level split. Fewer levels mean fewer
+retention waits serialised on the critical path; more levels prune
+candidate regions sooner. The paper's choice sits at the sweet spot.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ParborConfig, plan_campaign
+
+from ._report import report
+
+VENDOR_SETS = {"A": [-8, 8, -16, 16, -48, 48],
+               "B": [-1, 1, -64, 64],
+               "C": [-16, 16, -33, 33, -49, 49]}
+
+FANOUTS = {
+    "binary (13 levels)": (2,) * 13,
+    "paper (2,8,8,8,8)": (2, 8, 8, 8, 8),
+    "shallow (2,64,64)": (2, 64, 64),
+}
+
+
+def test_fanout_ablation(benchmark):
+    def sweep():
+        out = {}
+        for label, fanouts in FANOUTS.items():
+            cfg = ParborConfig(fanouts=fanouts)
+            out[label] = {name: plan_campaign(dset, cfg)
+                          for name, dset in VENDOR_SETS.items()}
+        return out
+
+    plans = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for label, per_vendor in plans.items():
+        for name, plan in per_vendor.items():
+            rows.append([label, name, len(plan.levels),
+                         plan.recursion_tests,
+                         f"{plan.wall_clock_s():.1f} s"])
+    report("ablation_fanout", format_table(
+        ["Fan-out family", "Vendor", "Levels", "Recursion tests",
+         "Wall clock"], rows))
+
+    paper = plans["paper (2,8,8,8,8)"]
+    binary = plans["binary (13 levels)"]
+    shallow = plans["shallow (2,64,64)"]
+    # The paper's counts reproduce; binary needs fewer tests but ~3x
+    # the serialised retention waits (levels); the shallow split burns
+    # far more tests.
+    assert paper["A"].recursion_tests == 90
+    assert paper["B"].recursion_tests == 66
+    for name in VENDOR_SETS:
+        assert binary[name].recursion_tests \
+            <= paper[name].recursion_tests
+        assert len(binary[name].levels) > 2 * len(paper[name].levels)
+        assert shallow[name].recursion_tests \
+            > 2 * paper[name].recursion_tests

@@ -1,0 +1,59 @@
+"""Ablation: the noise filters of Section 5.2.4.
+
+Two filters keep the recursion honest: the *marginal* filter discards
+victims failing in most tested regions (VRT/marginal cells), and the
+*ranking* filter keeps only distances reported by a meaningful share
+of the sample. This bench disables each (by pushing its threshold to
+the permissive extreme) and measures the damage: spurious distances
+survive and the test budget balloons.
+"""
+
+import pytest
+
+from repro.analysis import format_distance_set, format_table
+from repro.core import ParborConfig, run_parbor
+from repro.dram import vendor
+
+from ._report import report
+
+TRUE_MAGS = {"B": {1, 64}}
+
+CONFIGS = {
+    "full filtering": dict(ranking_threshold=0.06,
+                           marginal_region_fraction=0.3),
+    "no ranking": dict(ranking_threshold=1e-9,
+                       marginal_region_fraction=0.3),
+    "no marginal filter": dict(ranking_threshold=0.06,
+                               marginal_region_fraction=1.0),
+}
+
+
+def test_filter_ablation(benchmark):
+    def sweep_all():
+        out = {}
+        for label, overrides in CONFIGS.items():
+            chip = vendor("B").make_chip(seed=23, n_rows=96)
+            cfg = ParborConfig(sample_size=1500, **overrides)
+            out[label] = run_parbor(chip, cfg, seed=6, run_sweep=False)
+        return out
+
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, res in results.items():
+        mags = set(res.magnitudes())
+        spurious = len(mags - TRUE_MAGS["B"])
+        rows.append([label, res.recursion.total_tests,
+                     format_distance_set(res.distances)[:48], spurious])
+    report("ablation_filters", format_table(
+        ["Configuration", "Recursion tests", "Distances", "Spurious"],
+        rows))
+
+    full = results["full filtering"]
+    no_rank = results["no ranking"]
+    assert set(full.magnitudes()) == TRUE_MAGS["B"]
+    # Without ranking, noise distances survive and the budget grows.
+    spurious_norank = set(no_rank.magnitudes()) - TRUE_MAGS["B"]
+    assert spurious_norank
+    assert no_rank.recursion.total_tests \
+        > 2 * full.recursion.total_tests

@@ -1,0 +1,54 @@
+"""Appendix: test-time arithmetic.
+
+Paper: exhaustive neighbour location takes 8.73 minutes (O(n)),
+49 days (O(n^2)), 1115 years (O(n^3)), 9.1 M years (O(n^4)) per 8 K
+row; one whole-module test takes 413.96 ms; PARBOR's 92-132 test
+campaigns take 38-55 seconds; the reduction over the O(n^2) test is
+745,654x.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (exhaustive_cost_table, module_test_time_s,
+                        parbor_campaign_time_s, reduction_factor)
+
+from ._report import report
+
+
+def test_appendix_exhaustive_cost_ladder(benchmark):
+    rows_data = benchmark.pedantic(exhaustive_cost_table,
+                                   rounds=1, iterations=1)
+    rows = [[f"O(n^{r.k_neighbours})", f"{r.tests:.3g}", r.human]
+            for r in rows_data]
+    report("appendix_exhaustive_times", format_table(
+        ["Test", "Bit tests", "Wall clock"], rows))
+
+    seconds = {r.k_neighbours: r.seconds for r in rows_data}
+    assert seconds[1] / 60 == pytest.approx(8.74, rel=0.01)
+    assert seconds[2] / 86_400 == pytest.approx(49.7, rel=0.01)
+    assert seconds[3] / (365 * 86_400) == pytest.approx(1115, rel=0.01)
+    assert seconds[4] / (365 * 86_400 * 1e6) == pytest.approx(9.13,
+                                                              rel=0.01)
+
+
+def test_appendix_parbor_campaign_times(benchmark):
+    def campaign_times():
+        return {
+            "one module test": module_test_time_s(1),
+            "92-test campaign": parbor_campaign_time_s(66, 16, 10),
+            "132-test campaign": parbor_campaign_time_s(90, 32, 10),
+        }
+
+    times = benchmark.pedantic(campaign_times, rounds=1, iterations=1)
+    rows = [[k, f"{v:.2f} s"] for k, v in times.items()]
+    rows.append(["reduction vs O(n^2)",
+                 f"{reduction_factor(8192, 2, 90):,.0f}x (paper 745,654x)"])
+    report("appendix_campaign_times", format_table(
+        ["Quantity", "Value"], rows))
+
+    assert times["one module test"] == pytest.approx(0.41396, rel=0.001)
+    assert 35 <= times["92-test campaign"] <= 40
+    assert 50 <= times["132-test campaign"] <= 58
+    assert reduction_factor(8192, 2, 90) == pytest.approx(745_654,
+                                                          rel=0.001)

@@ -1,0 +1,40 @@
+"""Enablement study: mitigation mechanisms over PARBOR's failure map.
+
+The paper's Section 1 argument: system-level detection enables
+reliability mechanisms (its refs [6, 35, 47, 59, 62]). Given one
+characterised chip, compare what each classic mechanism costs and
+covers - the trade-off its ref [35] measures on real chips.
+"""
+
+from repro.analysis import format_table
+from repro.core import ParborConfig, run_parbor
+from repro.dram import vendor
+from repro.mitigate import compare_mitigations
+
+from ._report import report
+
+
+def test_mitigation_enablement(benchmark):
+    def study():
+        # Low per-row failure density (as on real 32 K-row chips),
+        # so the per-mechanism trade-offs are meaningful.
+        chip = vendor("A").make_chip(seed=17, n_rows=256,
+                                     vulnerability=0.06)
+        result = run_parbor(chip, ParborConfig(sample_size=1200),
+                            seed=2)
+        return chip, result, compare_mitigations(chip, result)
+
+    chip, result, rep = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    rows = rep.as_table_rows()
+    rows.append(["(failures detected)", str(len(result.detected)),
+                 "words affected", str(rep.ecc.words_with_failures)])
+    report("enablement_mitigation", format_table(
+        ["Mechanism", "Coverage", "Overhead kind", "Overhead"], rows))
+
+    assert rep.ecc.coverage > 0.9          # sparse failures: ECC works
+    assert rep.retirement.retired_rows > 0
+    overheads = {r.mechanism: r.overhead for r in rep.rows}
+    assert overheads["ECC (SEC-DED 72,64)"] == 0.125
+    # Retirement/binning touch a minority of rows at realistic density.
+    assert overheads["Row retirement"] < 0.5

@@ -1,0 +1,54 @@
+"""Energy companion to Figure 16: DRAM energy under the three refresh
+policies.
+
+The paper motivates DC-REF with performance *and* energy efficiency
+(Sections 1 and 8). Refresh is a large share of dense-DRAM energy (the
+"refresh wall" of its refs [46, 62]); cutting 73% of refreshes - and
+finishing the same work sooner - cuts total DRAM energy accordingly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.sim import (DEFAULT_CONFIG_32G, app, energy_of, make_policy,
+                       make_workloads, simulate_detailed,
+                       workload_profiles)
+
+from ._report import report
+
+
+def test_dcref_energy(benchmark):
+    def sweep():
+        out = {}
+        mixes = make_workloads(n_workloads=6, seed=2016)
+        for policy_name in ("baseline", "raidr", "dcref"):
+            energies = []
+            shares = []
+            for i, mix in enumerate(mixes):
+                policy = make_policy(policy_name, DEFAULT_CONFIG_32G,
+                                     seed=2016 + i)
+                result = simulate_detailed(
+                    workload_profiles(mix), policy, DEFAULT_CONFIG_32G,
+                    seed=2016 + i, n_instructions=60_000)
+                e = energy_of(result, DEFAULT_CONFIG_32G)
+                energies.append(e.total_uj)
+                shares.append(e.refresh_share)
+            out[policy_name] = (float(np.mean(energies)),
+                                float(np.mean(shares)))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base_total = out["baseline"][0]
+    rows = [[name, f"{total:.1f} uJ", f"{share:.1%}",
+             f"{100 * (total / base_total - 1):+.1f}%"]
+            for name, (total, share) in out.items()]
+    report("energy_dcref_32Gbit", format_table(
+        ["Policy", "DRAM energy", "Refresh share", "vs baseline"],
+        rows))
+
+    assert out["dcref"][0] < out["raidr"][0] < out["baseline"][0]
+    assert 0.15 <= out["baseline"][1] <= 0.5
+    # DC-REF cuts total DRAM energy by a double-digit percentage.
+    assert out["dcref"][0] < 0.9 * base_total

@@ -1,0 +1,39 @@
+"""Figure 11: union of neighbour-region distances at each recursion
+level, for modules from vendors A, B, and C.
+
+Paper values:
+
+    A: L1 {0}  L2 {0}  L3 {0, +-1}  L4 {+-1, +-2, +-6}  L5 {+-8, +-16, +-48}
+    B: L1 {0}  L2 {0}  L3 {0, +-1}  L4 {0, +-8}         L5 {+-1, +-64}
+    C: L1 {0}  L2 {0}  L3 {0, +-1}  L4 {+-2, +-4, +-6}  L5 {+-16, +-33, +-49}
+"""
+
+import pytest
+
+from repro.analysis import (format_distance_set, format_table,
+                            recursion_for_vendor)
+
+from ._report import report
+
+PAPER_L5 = {"A": {8, 16, 48}, "B": {1, 64}, "C": {16, 33, 49}}
+PAPER_L4 = {"A": {1, 2, 6}, "B": {0, 8}, "C": {2, 4, 6}}
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_fig11_distances_per_level(benchmark, name):
+    result = benchmark.pedantic(
+        recursion_for_vendor, args=(name,),
+        kwargs=dict(seed=2016, n_rows=128, sample_size=2000),
+        rounds=1, iterations=1)
+    rows = [[f"L{lv.level}", lv.region_size,
+             format_distance_set(lv.kept_distances)]
+            for lv in result.recursion.levels]
+    report(f"fig11_vendor_{name}", format_table(
+        ["Level", "Region size", "Neighbour-region distances"], rows))
+
+    levels = {lv.level: lv for lv in result.recursion.levels}
+    assert {abs(d) for d in levels[4].kept_distances} == PAPER_L4[name]
+    assert {abs(d) for d in levels[5].kept_distances} == PAPER_L5[name]
+    assert levels[1].kept_distances == [0]
+    assert levels[2].kept_distances == [0]
+    assert {abs(d) for d in levels[3].kept_distances} == {0, 1}

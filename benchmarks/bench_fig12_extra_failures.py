@@ -1,0 +1,43 @@
+"""Figure 12: extra failures uncovered by PARBOR over an equal-budget
+random-pattern test, across the 18-module fleet.
+
+Paper: 1 K - 45 K extra failures per module, a 2 - 55% increase,
+21.9% on average; vendor C's modules are the most vulnerable.
+Our fleet is geometry-scaled (128-row banks instead of 32 K-row
+chips), so absolute counts scale down accordingly; the relative
+increase is the reproduced quantity.
+"""
+
+import numpy as np
+
+from repro.analysis import fleet_comparison, format_table
+
+from ._report import report
+
+
+def test_fig12_fleet_extra_failures(benchmark):
+    comparisons = benchmark.pedantic(
+        fleet_comparison,
+        kwargs=dict(modules_per_vendor=6, seed=2016, n_rows=96),
+        rounds=1, iterations=1)
+
+    rows = [[c.module_id, c.budget, c.parbor_failures,
+             c.random_failures, c.extra_failures,
+             f"{c.extra_percent:+.1f}%"] for c in comparisons]
+    extras = [c.extra_percent for c in comparisons]
+    rows.append(["mean", "", "", "", "",
+                 f"{np.mean(extras):+.1f}% (paper +21.9%)"])
+    report("fig12_extra_failures", format_table(
+        ["Module", "Budget", "PARBOR", "Random", "Extra", "Increase"],
+        rows))
+
+    # Shape assertions: PARBOR uncovers more on (almost) every module,
+    # the fleet mean sits in the paper's band, and vendor C modules
+    # are the most vulnerable in absolute counts.
+    assert sum(1 for c in comparisons if c.extra_failures > 0) >= 16
+    assert 8.0 <= float(np.mean(extras)) <= 40.0
+    by_vendor = {v: [c.parbor_failures for c in comparisons
+                     if c.module_id.startswith(v)] for v in "ABC"}
+    assert np.mean(by_vendor["C"]) > 2 * np.mean(by_vendor["A"])
+    assert np.mean(by_vendor["C"]) > 2 * np.mean(by_vendor["B"])
+    benchmark.extra_info["mean_extra_percent"] = float(np.mean(extras))

@@ -1,0 +1,31 @@
+"""Figure 13: coverage of failures for modules A1, B1, C1.
+
+Paper: 20-30% of all uncovered failures are found *only* by PARBOR;
+less than 1% (A1, C1) to ~5% (B1) are found only by the equal-budget
+random test (randomly-occurring failures and remapped columns).
+"""
+
+from repro.analysis import coverage_split, format_percent, format_table
+
+from ._report import report
+
+
+def test_fig13_coverage_split(benchmark):
+    splits = benchmark.pedantic(
+        coverage_split, kwargs=dict(seed=2016, n_rows=96),
+        rounds=1, iterations=1)
+
+    rows = [[s.module_id, format_percent(s.only_parbor),
+             format_percent(s.only_random), format_percent(s.both)]
+            for s in splits]
+    report("fig13_coverage", format_table(
+        ["Module", "Only PARBOR", "Only random", "Both"], rows))
+
+    for s in splits:
+        # A significant slice is PARBOR-exclusive...
+        assert s.only_parbor > 0.03
+        # ... while the random-exclusive slice stays small.
+        assert s.only_random < 0.08
+        assert s.both > 0.5
+    benchmark.extra_info["splits"] = [
+        (s.module_id, s.only_parbor, s.only_random) for s in splits]

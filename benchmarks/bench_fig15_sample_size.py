@@ -1,0 +1,43 @@
+"""Figure 15: ranking robustness vs. initial victim sample size.
+
+Paper: with a small sample, noise distances can look frequent (module
+C1's distance 5 at 1 K victims); larger samples separate the true
+regions cleanly. Sample sizes are scaled to our bank geometry
+(96-row banks vs. the paper's 32 K-row chips).
+"""
+
+import pytest
+
+from repro.analysis import format_table, sample_size_sweep
+
+from ._report import report
+
+TRUE_REGIONS = {"B": {0, -8, 8}, "C": {-2, 2, -4, 4, -6, 6}}
+SAMPLE_SIZES = (150, 600, 1500, 3000)
+
+
+@pytest.mark.parametrize("name", ["B", "C"])
+def test_fig15_sample_size_sensitivity(benchmark, name):
+    sweep = benchmark.pedantic(
+        sample_size_sweep, args=(name, SAMPLE_SIZES),
+        kwargs=dict(level=4, seed=2016, n_rows=192),
+        rounds=1, iterations=1)
+
+    distances = sorted({d for hist in sweep.values() for d in hist})
+    rows = [[d] + [f"{sweep[s].get(d, 0.0):.3f}" for s in SAMPLE_SIZES]
+            for d in distances]
+    report(f"fig15_sample_size_{name}1", format_table(
+        ["Distance"] + [f"n={s}" for s in SAMPLE_SIZES], rows))
+
+    def noise_amplitude(hist):
+        noise = set(hist) - TRUE_REGIONS[name]
+        return max((hist[d] for d in noise), default=0.0)
+
+    small = sweep[SAMPLE_SIZES[0]]
+    large = sweep[SAMPLE_SIZES[-1]]
+    # Larger samples never make noise look MORE frequent, and the true
+    # regions stay on top.
+    assert noise_amplitude(large) <= noise_amplitude(small) + 0.05
+    true_found = TRUE_REGIONS[name] & set(large)
+    assert true_found
+    assert min(large[d] for d in true_found) > noise_amplitude(large)

@@ -1,0 +1,43 @@
+"""Section 3's guarantee argument: random testing vs. budget.
+
+The paper: random-pattern tests "take very long, are expensive, and
+make it difficult to provide any guarantees on the fraction of
+data-dependent failures that remain undetected". This bench gives the
+random test 1x to 16x PARBOR's whole budget and measures how much of
+PARBOR's detected set it reaches - the asymptote stays below 100%
+because context-sensitive weak cells have exponentially rare random
+worst cases.
+"""
+
+import pytest
+
+from repro.analysis import format_table, hbar_chart, random_budget_sweep
+
+from ._report import report
+
+MULTIPLIERS = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("name", ["A"])
+def test_random_budget_sweep(benchmark, name):
+    result, coverages = benchmark.pedantic(
+        random_budget_sweep, args=(name,),
+        kwargs=dict(budget_multipliers=MULTIPLIERS, seed=2016,
+                    n_rows=96),
+        rounds=1, iterations=1)
+
+    chart = hbar_chart(
+        {f"{m}x PARBOR budget": 100 * coverages[m]
+         for m in MULTIPLIERS},
+        width=40, fmt="{:.1f}%",
+        title=f"Random-test coverage of PARBOR's detections "
+              f"(vendor {name}, budget {result.total_tests} tests):")
+    report(f"random_budget_{name}", chart)
+
+    # Monotone, but saturating below full coverage even at 16x.
+    values = [coverages[m] for m in MULTIPLIERS]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[0] < 0.95
+    assert values[-1] < 0.995
+    # Diminishing returns: the last doubling buys less than the first.
+    assert (values[1] - values[0]) > (values[-1] - values[-2])

@@ -1,0 +1,40 @@
+"""Robustness: Table 1 and Figure 11 across independent chips.
+
+The paper reports that "all modules from a specific vendor and
+generation exhibit the same distances" and "different modules from a
+given vendor require the same number of tests". This bench runs the
+campaign on several independently drawn chips per vendor and checks
+that the counts and distance sets never vary.
+"""
+
+import pytest
+
+from repro.analysis import format_table, recursion_for_vendor
+
+from ._report import report
+
+PAPER_TESTS = {"A": [2, 8, 8, 24, 48], "B": [2, 8, 8, 24, 24],
+               "C": [2, 8, 8, 24, 48]}
+PAPER_MAGS = {"A": [8, 16, 48], "B": [1, 64], "C": [16, 33, 49]}
+SEEDS = (101, 211, 307, 401, 503)
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_stability_across_chips(benchmark, name):
+    def sweep():
+        return [recursion_for_vendor(name, seed=seed, n_rows=96,
+                                     sample_size=1500)
+                for seed in SEEDS]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [[seed, " ".join(str(t) for t in
+                            r.recursion.tests_per_level),
+             str(r.magnitudes())]
+            for seed, r in zip(SEEDS, results)]
+    report(f"stability_seeds_{name}", format_table(
+        ["Chip seed", "Tests per level", "Magnitudes"], rows))
+
+    for r in results:
+        assert r.recursion.tests_per_level == PAPER_TESTS[name]
+        assert r.magnitudes() == PAPER_MAGS[name]

@@ -1,0 +1,35 @@
+"""Table 1: number of tests performed by PARBOR per recursion level.
+
+Paper values (144 real chips):
+
+    Manufacturer  L1  L2  L3  L4  L5  Total
+    A              2   8   8  24  48     90
+    B              2   8   8  24  24     66
+    C              2   8   8  24  48     90
+"""
+
+import pytest
+
+from repro.analysis import format_table, recursion_for_vendor
+
+from ._report import report
+
+PAPER = {"A": [2, 8, 8, 24, 48], "B": [2, 8, 8, 24, 24],
+         "C": [2, 8, 8, 24, 48]}
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_table1_tests_per_level(benchmark, name):
+    result = benchmark.pedantic(
+        recursion_for_vendor, args=(name,),
+        kwargs=dict(seed=2016, n_rows=128, sample_size=2000),
+        rounds=1, iterations=1)
+    counts = result.recursion.tests_per_level
+    rows = [[name, *counts, sum(counts), "paper:", *PAPER[name],
+             sum(PAPER[name])]]
+    report(f"table1_vendor_{name}", format_table(
+        ["Mfr", "L1", "L2", "L3", "L4", "L5", "Total", "",
+         "pL1", "pL2", "pL3", "pL4", "pL5", "pTotal"], rows))
+    assert counts == PAPER[name]
+    benchmark.extra_info["tests_per_level"] = counts
+    benchmark.extra_info["total_tests"] = sum(counts)

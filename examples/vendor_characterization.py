@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Characterise the three vendors' address scramblers with PARBOR.
+
+Each DRAM vendor scrambles system addresses differently; PARBOR learns
+each mapping's neighbour distances from the outside, using only
+write/wait/read. This example reproduces the paper's Section 7.1
+characterisation - Table 1 test counts and Figure 11 distance sets -
+for vendors A, B, and C, and shows the neighbour-aware sweep schedule
+each distance set induces.
+
+Run:  python examples/vendor_characterization.py
+"""
+
+from repro.analysis import format_distance_set, format_table
+from repro.core import ParborConfig, build_schedule, run_parbor
+from repro.dram import vendor
+
+
+def characterise(name: str) -> list:
+    profile = vendor(name)
+    chip = profile.make_chip(seed=7, n_rows=128)
+    result = run_parbor(chip, ParborConfig(sample_size=2000), seed=3,
+                        run_sweep=False)
+    schedule = build_schedule(chip.row_bits, result.distances)
+    ok = tuple(result.magnitudes()) == profile.expected_magnitudes
+    return [name,
+            format_distance_set(result.distances),
+            " ".join(str(t) for t in result.recursion.tests_per_level),
+            result.recursion.total_tests,
+            schedule.total_rounds,
+            "yes" if ok else "NO"]
+
+
+def main() -> None:
+    print("Characterising vendors A, B, C "
+          "(paper: 90/66/90 recursive tests)...\n")
+    rows = [characterise(name) for name in "ABC"]
+    print(format_table(
+        ["Vendor", "Neighbour distances", "Tests per level", "Total",
+         "Sweep rounds", "Matches design"], rows))
+    print("\nEach vendor needs only a constant number of tests; the "
+          "naive pair test would need 67 million per row (49 days).")
+
+
+if __name__ == "__main__":
+    main()

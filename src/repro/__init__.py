@@ -1,0 +1,40 @@
+"""PARBOR reproduction: data-dependent DRAM failure detection.
+
+A from-scratch Python implementation of *PARBOR: An Efficient
+System-Level Technique to Detect Data-Dependent Failures in DRAM*
+(Khan, Lee, Mutlu - DSN 2016), including:
+
+* :mod:`repro.dram` - a behavioural DRAM substrate: vendor address
+  scrambling, coupled-cell failure models, random-fault injection,
+  chips/modules, and the memory-controller test interface.
+* :mod:`repro.core` - PARBOR itself: victim discovery, parallel
+  recursive neighbour search, distance ranking, neighbour-aware sweep
+  scheduling, baselines, and the appendix complexity analytics.
+* :mod:`repro.sim` + :mod:`repro.dcref` - the DC-REF use case: a
+  trace-driven multicore/DDR3 simulator with uniform, RAIDR, and
+  data-content-based refresh policies.
+* :mod:`repro.analysis` - drivers regenerating every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro.dram import vendor
+    from repro.core import run_parbor
+
+    chip = vendor("A").make_chip(seed=1, n_rows=128)
+    result = run_parbor(chip)
+    print(result.distances)        # -> [-8, 8, -16, 16, -48, 48]
+    print(result.recursion.tests_per_level)   # -> [2, 8, 8, 24, 48]
+"""
+
+from . import analysis, core, dcref, dram, mitigate, sim
+from .core import ParborConfig, ParborResult, run_parbor
+from .dram import DramChip, DramModule, MemoryController, vendor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DramChip", "DramModule", "MemoryController", "ParborConfig",
+    "ParborResult", "analysis", "core", "dcref", "dram", "mitigate",
+    "run_parbor", "sim", "vendor", "__version__",
+]

@@ -1,0 +1,21 @@
+"""Experiment drivers and report formatting for the evaluation."""
+
+from .experiments import (DEFAULT_N_ROWS, CoverageSplit, ModuleComparison,
+                          compare_module, coverage_split, fleet_comparison,
+                          ranking_histogram, recursion_for_vendor,
+                          random_budget_sweep, sample_size_sweep,
+                          temperature_sensitivity)
+from .ascii import grouped_hbar_chart, hbar_chart
+from .export import (campaign_to_json, comparisons_to_csv,
+                     comparisons_to_json, ranking_to_csv)
+from .tables import format_distance_set, format_percent, format_table
+
+__all__ = [
+    "DEFAULT_N_ROWS", "CoverageSplit", "ModuleComparison", "compare_module",
+    "coverage_split", "fleet_comparison", "format_distance_set",
+    "format_percent", "format_table", "ranking_histogram",
+    "recursion_for_vendor", "sample_size_sweep",
+    "temperature_sensitivity", "random_budget_sweep", "campaign_to_json", "comparisons_to_csv",
+    "comparisons_to_json", "ranking_to_csv", "grouped_hbar_chart",
+    "hbar_chart",
+]

@@ -1,0 +1,76 @@
+"""Terminal bar charts for the evaluation figures.
+
+The paper's figures are bar/line charts; in a dependency-free terminal
+environment these render them as horizontal ASCII bars, used by the
+examples (and handy in CI logs). Values are scaled to a fixed width;
+labels and values stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["hbar_chart", "grouped_hbar_chart"]
+
+Number = Union[int, float]
+FULL = "#"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if peak <= 0:
+        return ""
+    n = int(round(width * max(0.0, value) / peak))
+    return FULL * n
+
+
+def hbar_chart(data: Mapping[str, Number], width: int = 40,
+               fmt: str = "{:.1f}",
+               title: Optional[str] = None) -> str:
+    """One horizontal bar per (label, value) pair.
+
+    Args:
+        data: label -> value (insertion order preserved).
+        width: bar width of the largest value.
+        fmt: value format.
+        title: optional heading line.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not data:
+        return title or ""
+    labels = [str(k) for k in data]
+    values = [float(v) for v in data.values()]
+    peak = max(values)
+    label_w = max(len(lb) for lb in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        lines.append(f"{label.rjust(label_w)} | "
+                     f"{_bar(value, peak, width)} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_hbar_chart(groups: Mapping[str, Mapping[str, Number]],
+                       width: int = 40, fmt: str = "{:.1f}",
+                       title: Optional[str] = None) -> str:
+    """Grouped bars: one block per outer key, one bar per inner key.
+
+    All bars share a single scale so groups are comparable.
+    """
+    if not groups:
+        return title or ""
+    all_values = [float(v) for g in groups.values() for v in g.values()]
+    if not all_values:
+        return title or ""
+    peak = max(all_values)
+    inner_labels = [str(k) for g in groups.values() for k in g]
+    label_w = max(len(lb) for lb in inner_labels) if inner_labels else 0
+    lines: List[str] = [title] if title else []
+    for group_name, series in groups.items():
+        lines.append(f"{group_name}:")
+        for label, value in series.items():
+            value = float(value)
+            lines.append(f"  {str(label).rjust(label_w)} | "
+                         f"{_bar(value, peak, width)} "
+                         f"{fmt.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The paper promised a data release alongside the source; these helpers
+serialise the experiment drivers' outputs so downstream analysis
+(plotting, statistics) does not have to re-run the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Sequence, TextIO
+
+from ..core.detector import ParborResult
+from .experiments import CoverageSplit, ModuleComparison
+
+__all__ = ["comparisons_to_csv", "comparisons_to_json",
+           "campaign_to_json", "ranking_to_csv"]
+
+
+def comparisons_to_csv(comparisons: Sequence[ModuleComparison],
+                       fh: TextIO) -> None:
+    """Figure 12 rows as CSV."""
+    writer = csv.writer(fh)
+    writer.writerow(["module", "budget", "parbor_failures",
+                     "random_failures", "extra_failures",
+                     "extra_percent", "parbor_only", "random_only",
+                     "both"])
+    for c in comparisons:
+        writer.writerow([c.module_id, c.budget, c.parbor_failures,
+                         c.random_failures, c.extra_failures,
+                         round(c.extra_percent, 3), c.parbor_only,
+                         c.random_only, c.both])
+
+
+def comparisons_to_json(comparisons: Sequence[ModuleComparison],
+                        fh: TextIO) -> None:
+    """Figure 12/13 rows as JSON (includes the coverage split)."""
+    payload = []
+    for c in comparisons:
+        split = CoverageSplit.from_comparison(c)
+        payload.append({
+            "module": c.module_id,
+            "budget": c.budget,
+            "parbor_failures": c.parbor_failures,
+            "random_failures": c.random_failures,
+            "extra_percent": round(c.extra_percent, 3),
+            "only_parbor": round(split.only_parbor, 5),
+            "only_random": round(split.only_random, 5),
+            "both": round(split.both, 5),
+        })
+    json.dump(payload, fh, indent=2)
+
+
+def campaign_to_json(result: ParborResult, fh: TextIO) -> None:
+    """One PARBOR campaign: distances, per-level record, budget."""
+    payload = {
+        "distances": result.distances,
+        "magnitudes": result.magnitudes(),
+        "tests_per_level": result.recursion.tests_per_level,
+        "budget": {
+            "discovery": result.n_discovery_tests,
+            "recursion": result.n_recursion_tests,
+            "sweep": result.n_sweep_rounds,
+            "total": result.total_tests,
+        },
+        "detected_failures": len(result.detected),
+        "levels": [
+            {
+                "level": lv.level,
+                "region_size": lv.region_size,
+                "tests": lv.tests,
+                "kept_distances": lv.kept_distances,
+                "discarded_marginal": lv.discarded_marginal,
+                "active_victims": lv.active_victims,
+            }
+            for lv in result.recursion.levels
+        ],
+    }
+    if result.recovery is not None:
+        payload["recovery"] = {
+            "attempted": result.recovery.attempted,
+            "recovered": len(result.recovery),
+            "tests": result.recovery.tests,
+        }
+    json.dump(payload, fh, indent=2)
+
+
+def ranking_to_csv(histograms: Dict[int, Dict[int, float]],
+                   fh: TextIO) -> None:
+    """Figure 15-style sample-size sweep as CSV (distance x size)."""
+    sizes = sorted(histograms)
+    distances: List[int] = sorted({d for hist in histograms.values()
+                                   for d in hist})
+    writer = csv.writer(fh)
+    writer.writerow(["distance"] + [f"n_{s}" for s in sizes])
+    for d in distances:
+        writer.writerow([d] + [round(histograms[s].get(d, 0.0), 5)
+                               for s in sizes])

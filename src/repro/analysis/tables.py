@@ -1,0 +1,47 @@
+"""Paper-style formatting of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_distance_set", "format_percent"]
+
+
+def format_distance_set(distances: Iterable[int]) -> str:
+    """Render a signed distance set the way the paper does.
+
+    Symmetric pairs collapse to ``+-d``; lone signs keep their sign.
+    """
+    ds = set(int(d) for d in distances)
+    parts: List[str] = []
+    for mag in sorted({abs(d) for d in ds}):
+        if mag == 0:
+            parts.append("0")
+        elif mag in ds and -mag in ds:
+            parts.append(f"+-{mag}")
+        elif mag in ds:
+            parts.append(f"+{mag}")
+        else:
+            parts.append(f"-{mag}")
+    return "{" + ", ".join(parts) + "}"
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-padded columns."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

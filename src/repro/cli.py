@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the evaluation drivers:
+
+* ``characterize`` - run PARBOR's neighbour search on one vendor's
+  chip (Table 1 / Figure 11).
+* ``compare`` - PARBOR vs. the equal-budget random test on one module
+  (Figure 12/13).
+* ``dcref`` - the refresh-policy comparison (Figure 16).
+* ``appendix`` - the test-time arithmetic.
+
+Every command prints a human table and optionally dumps machine-
+readable JSON with ``--json FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .analysis import (campaign_to_json, compare_module,
+                       comparisons_to_csv, comparisons_to_json,
+                       fleet_comparison, format_distance_set,
+                       format_table, recursion_for_vendor)
+from .core import (MARCH_B, MARCH_C_MINUS, MATS_PLUS, ParborConfig,
+                   checkerboard, controllers_for, exhaustive_cost_table,
+                   module_test_time_s, plan_campaign, reduction_factor,
+                   run_march)
+from .dcref import run_fig16
+from .dram import make_module
+from .sim import DEFAULT_CONFIG_16G, DEFAULT_CONFIG_32G
+
+__all__ = ["main", "build_parser"]
+
+
+def _dump_json(path: Optional[str], payload: Dict[str, Any]) -> None:
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    result = recursion_for_vendor(args.vendor, seed=args.seed,
+                                  n_rows=args.rows,
+                                  sample_size=args.sample)
+    rows = [[f"L{lv.level}", lv.region_size, lv.tests,
+             format_distance_set(lv.kept_distances)]
+            for lv in result.recursion.levels]
+    print(f"Vendor {args.vendor}: distances "
+          f"{format_distance_set(result.distances)} in "
+          f"{result.recursion.total_tests} tests")
+    print(format_table(["Level", "Region size", "Tests", "Distances"],
+                       rows))
+    _dump_json(args.json, {
+        "vendor": args.vendor,
+        "distances": result.distances,
+        "tests_per_level": result.recursion.tests_per_level,
+        "total_tests": result.recursion.total_tests,
+    })
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    module = make_module(args.vendor, 1, seed=args.seed, n_rows=args.rows)
+    comparison, result = compare_module(module, seed=args.seed + 1)
+    rows = [
+        ["budget (whole-module tests)", comparison.budget],
+        ["PARBOR failures", comparison.parbor_failures],
+        ["random-test failures", comparison.random_failures],
+        ["extra failures", comparison.extra_failures],
+        ["increase", f"{comparison.extra_percent:+.1f}%"],
+        ["only PARBOR / only random / both",
+         f"{comparison.parbor_only} / {comparison.random_only} / "
+         f"{comparison.both}"],
+        ["distances", format_distance_set(result.distances)],
+    ]
+    print(format_table(["Quantity", "Value"], rows))
+    _dump_json(args.json, {
+        "module": comparison.module_id,
+        "budget": comparison.budget,
+        "parbor_failures": comparison.parbor_failures,
+        "random_failures": comparison.random_failures,
+        "extra_percent": comparison.extra_percent,
+        "distances": result.distances,
+    })
+    return 0
+
+
+def _cmd_dcref(args: argparse.Namespace) -> int:
+    config = (DEFAULT_CONFIG_32G if args.density == 32
+              else DEFAULT_CONFIG_16G)
+    summary = run_fig16(n_workloads=args.workloads, config=config,
+                        seed=args.seed,
+                        n_instructions=args.instructions)
+    rows = [
+        ["RAIDR speedup", f"{summary.mean_improvement('raidr'):+.1f}%"],
+        ["DC-REF speedup", f"{summary.mean_improvement('dcref'):+.1f}%"],
+        ["DC-REF vs RAIDR",
+         f"{summary.mean_improvement('dcref', 'raidr'):+.1f}%"],
+        ["refresh cut vs baseline",
+         f"{summary.mean_refresh_reduction('dcref'):.1f}%"],
+        ["refresh cut vs RAIDR",
+         f"{summary.mean_refresh_reduction('dcref', 'raidr'):.1f}%"],
+        ["fast-rate rows (DC-REF)",
+         f"{100 * summary.mean_high_rate_fraction('dcref'):.1f}%"],
+    ]
+    print(f"{args.workloads} workloads at {args.density} Gbit:")
+    print(format_table(["Quantity", "Value"], rows))
+    _dump_json(args.json, {
+        "density_gbit": args.density,
+        "workloads": args.workloads,
+        "dcref_speedup_pct": summary.mean_improvement("dcref"),
+        "raidr_speedup_pct": summary.mean_improvement("raidr"),
+        "refresh_cut_pct": summary.mean_refresh_reduction("dcref"),
+    })
+    return 0
+
+
+def _cmd_march(args: argparse.Namespace) -> int:
+    from .dram import vendor
+    tests = {"mats+": MATS_PLUS, "march-c-": MARCH_C_MINUS,
+             "march-b": MARCH_B}
+    test = tests[args.test]
+    chip = vendor(args.vendor).make_chip(seed=args.seed, n_rows=args.rows)
+    ctrls = controllers_for(chip)
+    background = (checkerboard(chip.row_bits) if args.background ==
+                  "checker" else None)
+    outcome = run_march(ctrls, test, background=background)
+    truth = chip.coupled_cell_count()
+    rows = [
+        ["test", str(test)],
+        ["background", args.background],
+        ["row operations", outcome.row_operations],
+        ["retention waits", outcome.retention_waits],
+        ["cells detected", len(outcome.detected)],
+        ["coupled cells on chip", truth],
+    ]
+    print(format_table(["Quantity", "Value"], rows))
+    _dump_json(args.json, {
+        "test": test.name, "background": args.background,
+        "detected": len(outcome.detected), "coupled_cells": truth,
+    })
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    comparisons = fleet_comparison(
+        modules_per_vendor=args.modules_per_vendor, seed=args.seed,
+        n_rows=args.rows)
+    rows = [[c.module_id, c.budget, c.parbor_failures,
+             c.random_failures, f"{c.extra_percent:+.1f}%"]
+            for c in comparisons]
+    print(format_table(["Module", "Budget", "PARBOR", "Random",
+                        "Increase"], rows))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            comparisons_to_csv(comparisons, fh)
+        print(f"wrote {args.csv}")
+    _dump_json(args.json, {
+        "modules": [{"module": c.module_id,
+                     "extra_percent": c.extra_percent}
+                    for c in comparisons],
+    })
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    """Generate the release dataset: per-module campaign records.
+
+    The paper promised releasing "the source code of PARBOR and data
+    for all DRAM chips we tested"; this is the simulated-fleet
+    equivalent: one campaign JSON per module plus a fleet-level CSV
+    and JSON of the Figure 12 comparison.
+    """
+    import os
+
+    from .analysis import ModuleComparison
+    from .core import ParborConfig
+    from .dram import make_module
+
+    os.makedirs(args.out, exist_ok=True)
+    import numpy as np
+    rng = np.random.default_rng(args.seed)
+    comparisons = []
+    for name in ("A", "B", "C"):
+        for i in range(args.modules_per_vendor):
+            module = make_module(name, i + 1,
+                                 seed=int(rng.integers(0, 2**63)),
+                                 n_rows=args.rows)
+            comparison, result = compare_module(
+                module, seed=int(rng.integers(0, 2**31)))
+            comparisons.append(comparison)
+            path = os.path.join(args.out,
+                                f"campaign_{module.module_id}.json")
+            with open(path, "w") as fh:
+                campaign_to_json(result, fh)
+            print(f"{module.module_id}: budget={comparison.budget} "
+                  f"extra={comparison.extra_percent:+.1f}% -> {path}")
+    with open(os.path.join(args.out, "fleet.csv"), "w") as fh:
+        comparisons_to_csv(comparisons, fh)
+    with open(os.path.join(args.out, "fleet.json"), "w") as fh:
+        comparisons_to_json(comparisons, fh)
+    print(f"wrote {args.out}/fleet.csv and fleet.json")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    distances = sorted({d for m in args.distances for d in (m, -m)})
+    config = ParborConfig(ranking_threshold=args.threshold)
+    try:
+        plan = plan_campaign(distances, config=config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [[f"L{i + 1}", tests,
+             format_distance_set(kept)]
+            for i, (tests, kept) in enumerate(plan.levels)]
+    rows.append(["discovery", plan.discovery_tests, ""])
+    rows.append(["sweep", plan.sweep_rounds, ""])
+    rows.append(["total", plan.total_tests,
+                 f"~{plan.wall_clock_s():.0f} s per 2 GB module"])
+    print(format_table(["Stage", "Tests", "Kept distances"], rows))
+    _dump_json(args.json, {
+        "distances": distances,
+        "tests_per_level": [t for t, _ in plan.levels],
+        "total_tests": plan.total_tests,
+        "wall_clock_s": plan.wall_clock_s(),
+    })
+    return 0
+
+
+def _cmd_appendix(args: argparse.Namespace) -> int:
+    rows = [[f"O(n^{r.k_neighbours})", f"{r.tests:.3g}", r.human]
+            for r in exhaustive_cost_table()]
+    rows.append(["one module test", "",
+                 f"{module_test_time_s(1) * 1000:.2f} ms"])
+    rows.append(["PARBOR (92 tests)", "",
+                 f"{module_test_time_s(92):.1f} s"])
+    rows.append(["reduction vs O(n^2)", "",
+                 f"{reduction_factor(8192, 2, 90):,.0f}x"])
+    print(format_table(["Test", "Bit tests", "Wall clock"], rows))
+    _dump_json(args.json, {
+        "module_test_s": module_test_time_s(1),
+        "campaign_92_s": module_test_time_s(92),
+        "reduction_n2": reduction_factor(8192, 2, 90),
+    })
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARBOR (DSN 2016) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize",
+                       help="locate a vendor's neighbour distances")
+    p.add_argument("--vendor", choices=["A", "B", "C"], default="A")
+    p.add_argument("--rows", type=int, default=128)
+    p.add_argument("--sample", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("compare",
+                       help="PARBOR vs equal-budget random test")
+    p.add_argument("--vendor", choices=["A", "B", "C"], default="A")
+    p.add_argument("--rows", type=int, default=96)
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("dcref", help="refresh-policy comparison")
+    p.add_argument("--workloads", type=int, default=8)
+    p.add_argument("--density", type=int, choices=[16, 32], default=32)
+    p.add_argument("--instructions", type=int, default=80_000)
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_dcref)
+
+    p = sub.add_parser("march", help="run a classic March test")
+    p.add_argument("--test", choices=["mats+", "march-c-", "march-b"],
+                   default="march-c-")
+    p.add_argument("--vendor", choices=["A", "B", "C"], default="A")
+    p.add_argument("--background", choices=["solid", "checker"],
+                   default="solid")
+    p.add_argument("--rows", type=int, default=64)
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_march)
+
+    p = sub.add_parser("fleet", help="Figure 12 fleet comparison")
+    p.add_argument("--modules-per-vendor", type=int, default=2)
+    p.add_argument("--rows", type=int, default=96)
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--csv", metavar="FILE",
+                   help="write per-module rows as CSV")
+    p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("dataset",
+                       help="generate the release dataset (per-module "
+                            "campaign JSONs + fleet CSV)")
+    p.add_argument("--out", default="dataset")
+    p.add_argument("--modules-per-vendor", type=int, default=6)
+    p.add_argument("--rows", type=int, default=96)
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("plan",
+                       help="predict a campaign budget analytically")
+    p.add_argument("distances", type=int, nargs="+", metavar="D",
+                   help="unsigned neighbour distances, e.g. 8 16 48")
+    p.add_argument("--threshold", type=float, default=0.06)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("appendix", help="test-time arithmetic")
+    p.set_defaults(func=_cmd_appendix)
+
+    for sub_parser in sub.choices.values():
+        sub_parser.add_argument("--json", metavar="FILE",
+                                help="also write results as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""PARBOR: parallel recursive neighbour testing (the paper's core)."""
+
+from .baselines import (exhaustive_neighbour_search, linear_neighbour_search,
+                        random_pattern_test, simple_pattern_test)
+from .complexity import (exhaustive_cost_table, exhaustive_test_time_s,
+                         humanise_seconds, module_test_time_s,
+                         parbor_campaign_time_s, per_bit_test_time_ns,
+                         recursion_test_count, reduction_factor)
+from .config import DEFAULT_CONFIG, ParborConfig, region_sizes
+from .detector import (ParborResult, controllers_for, neighbour_aware_sweep,
+                       run_parbor)
+from .march import (MARCH_B, MARCH_C_MINUS, MARCH_LR, MARCH_SS,
+                    MATS_PLUS, MarchElement,
+                    MarchOp, MarchOutcome, MarchTest, parse_march,
+                    run_march)
+from .planner import CampaignPlan, plan_campaign, predict_level_distances
+from .patterns import (checkerboard, column_stripes, discovery_patterns,
+                       inverse, random_pattern, solid, walking_ones,
+                       with_inverses)
+from .ranking import RankingOutcome, normalised_ranking, rank_distances
+from .recursion import (LevelResult, RecursionResult,
+                        recursive_neighbour_search)
+from .remap_recovery import RecoveryResult, recover_irregular_victims
+from .scheduler import (TestSchedule, build_schedule, greedy_colouring,
+                        paper_round_count)
+from .victims import VictimSample, find_initial_victims
+
+__all__ = [
+    "DEFAULT_CONFIG", "LevelResult", "ParborConfig", "ParborResult",
+    "RankingOutcome", "RecursionResult", "TestSchedule", "VictimSample",
+    "build_schedule", "checkerboard", "column_stripes", "controllers_for",
+    "discovery_patterns", "exhaustive_cost_table",
+    "exhaustive_neighbour_search", "exhaustive_test_time_s",
+    "find_initial_victims", "greedy_colouring", "humanise_seconds",
+    "inverse", "linear_neighbour_search", "module_test_time_s",
+    "MARCH_B", "MARCH_C_MINUS", "MARCH_LR", "MARCH_SS", "MATS_PLUS",
+    "MarchElement", "MarchOp",
+    "MarchOutcome", "MarchTest", "parse_march", "run_march",
+    "neighbour_aware_sweep", "normalised_ranking", "paper_round_count",
+    "CampaignPlan", "plan_campaign", "predict_level_distances",
+    "parbor_campaign_time_s", "per_bit_test_time_ns", "random_pattern",
+    "random_pattern_test", "rank_distances", "recover_irregular_victims",
+    "RecoveryResult", "recursion_test_count",
+    "recursive_neighbour_search", "reduction_factor", "region_sizes",
+    "run_parbor", "simple_pattern_test", "solid", "walking_ones",
+    "with_inverses",
+]

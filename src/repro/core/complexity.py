@@ -1,0 +1,141 @@
+"""Test-time analytics from the paper's appendix.
+
+Everything here is closed-form arithmetic over DDR3 timing: how long
+the naive O(n^k) neighbour-location tests take (49 days for pairs in a
+single 8 K row, 9.1 M years for 4-neighbour groups), how long one
+whole-module test takes (413.96 ms for 2 GB), and the reduction factor
+PARBOR achieves (745,654x against the O(n^2) test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.timing import DDR3_1600, NS_PER_MS, NS_PER_S, DramTiming
+
+__all__ = ["per_bit_test_time_ns", "exhaustive_test_time_s",
+           "module_test_time_s", "parbor_campaign_time_s",
+           "reduction_factor", "recursion_test_count", "humanise_seconds",
+           "ExhaustiveCost"]
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_YEAR = 365.0 * SECONDS_PER_DAY
+
+
+def per_bit_test_time_ns(timing: DramTiming = DDR3_1600) -> float:
+    """Time for one single-bit-pair test: two-block access + wait.
+
+    Appendix: ``42.5 ns + 64 ms ~= 64 ms`` per tested address bit.
+    """
+    return (timing.two_block_access_ns()
+            + timing.refresh_interval_ms * NS_PER_MS)
+
+
+def exhaustive_test_time_s(n_bits: int, k_neighbours: int,
+                           timing: DramTiming = DDR3_1600) -> float:
+    """Wall-clock of the naive O(n^k) neighbour search over one row.
+
+    ``k_neighbours = 2`` is the paper's 49-day pair test; 3 and 4 give
+    1115 years and 9.1 M years.
+    """
+    if k_neighbours < 1:
+        raise ValueError("k_neighbours must be >= 1")
+    return per_bit_test_time_ns(timing) * float(n_bits) ** k_neighbours \
+        / NS_PER_S
+
+
+def module_test_time_s(n_tests: int, n_rows: int = 262_144,
+                       row_bytes: int = 8192,
+                       timing: DramTiming = DDR3_1600) -> float:
+    """Wall-clock of ``n_tests`` whole-module tests.
+
+    Appendix: one test = write the module + one retention wait + read
+    the module; 413.96 ms for a 2 GB module (262144 rows of 8 KB).
+    """
+    if n_tests < 0:
+        raise ValueError("n_tests must be non-negative")
+    t_row_ns = timing.full_row_access_ns(row_bytes=row_bytes)
+    sweep_ns = t_row_ns * n_rows
+    per_test_ns = 2 * sweep_ns + timing.refresh_interval_ms * NS_PER_MS
+    return n_tests * per_test_ns / NS_PER_S
+
+
+def parbor_campaign_time_s(recursion_tests: int, sweep_rounds: int,
+                           discovery_tests: int = 10,
+                           n_rows: int = 262_144,
+                           timing: DramTiming = DDR3_1600) -> float:
+    """Wall-clock of a full PARBOR campaign against a 2 GB module.
+
+    The paper's 92-132 test budgets take 38-55 seconds with the
+    appendix's per-test cost.
+    """
+    total = recursion_tests + sweep_rounds + discovery_tests
+    return module_test_time_s(total, n_rows=n_rows, timing=timing)
+
+
+def reduction_factor(n_bits: int, k_neighbours: int,
+                     parbor_tests: int) -> float:
+    """How many times fewer tests PARBOR runs than the O(n^k) search.
+
+    ``reduction_factor(8192, 2, 90) ~= 745,654`` and
+    ``reduction_factor(8192, 1, 90) ~= 91`` (the paper's headline
+    numbers).
+    """
+    if parbor_tests < 1:
+        raise ValueError("parbor_tests must be positive")
+    return float(n_bits) ** k_neighbours / parbor_tests
+
+
+def recursion_test_count(fanouts, kept_per_level) -> int:
+    """Tests of a recursion with given fan-outs and surviving regions.
+
+    ``tests_at_level_i = kept_regions_at_level_(i-1) * fanout_i`` with
+    one region (the whole row) at level 0 - the arithmetic behind
+    Table 1 (A: 2 + 8 + 8 + 24 + 48 = 90).
+    """
+    if len(kept_per_level) != len(fanouts):
+        raise ValueError("need one kept-region count per level")
+    total = 0
+    kept_prev = 1
+    for fan, kept in zip(fanouts, kept_per_level):
+        total += kept_prev * fan
+        kept_prev = kept
+    return total
+
+
+@dataclass(frozen=True)
+class ExhaustiveCost:
+    """One row of the appendix's cost table."""
+
+    k_neighbours: int
+    tests: float
+    seconds: float
+    human: str
+
+
+def humanise_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's appendix does."""
+    if seconds < 60:
+        return f"{seconds:.1f} s"
+    if seconds < 3600:
+        return f"{seconds / 60:.2f} min"
+    if seconds < SECONDS_PER_DAY:
+        return f"{seconds / 3600:.1f} h"
+    if seconds < SECONDS_PER_YEAR:
+        return f"{seconds / SECONDS_PER_DAY:.0f} days"
+    if seconds < 1e6 * SECONDS_PER_YEAR:
+        return f"{seconds / SECONDS_PER_YEAR:.0f} years"
+    return f"{seconds / (1e6 * SECONDS_PER_YEAR):.1f} M years"
+
+
+def exhaustive_cost_table(n_bits: int = 8192, max_k: int = 4,
+                          timing: DramTiming = DDR3_1600):
+    """The appendix cost ladder for k = 1..max_k neighbours."""
+    rows = []
+    for k in range(1, max_k + 1):
+        seconds = exhaustive_test_time_s(n_bits, k, timing)
+        rows.append(ExhaustiveCost(k_neighbours=k,
+                                   tests=float(n_bits) ** k,
+                                   seconds=seconds,
+                                   human=humanise_seconds(seconds)))
+    return rows

@@ -1,0 +1,84 @@
+"""Configuration of the PARBOR test campaign."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["ParborConfig", "region_sizes"]
+
+
+def region_sizes(row_bits: int, fanouts: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Region size at each recursion level.
+
+    The paper divides an 8 K row into two 4096-bit regions at level 1
+    and by eight at each further level: sizes (4096, 512, 64, 8, 1).
+    """
+    sizes = []
+    size = row_bits
+    for fan in fanouts:
+        if size % fan:
+            raise ValueError(
+                f"fanout {fan} does not divide region size {size}")
+        size //= fan
+        sizes.append(size)
+    if sizes and sizes[-1] != 1:
+        raise ValueError(
+            f"fanouts {fanouts} do not reduce {row_bits} to single bits")
+    return tuple(sizes)
+
+
+@dataclass(frozen=True)
+class ParborConfig:
+    """Tunables of the PARBOR pipeline (paper Section 5).
+
+    Attributes:
+        fanouts: per-level region subdivision factors; the paper uses
+            (2, 8, 8, 8, 8) for 8 K rows (Section 7.1).
+        n_discovery_tests: number of initial data-pattern tests used to
+            build the victim sample (the paper budgets 10).
+        sample_size: maximum number of victim cells carried into the
+            recursion (Figure 15 sweeps this).
+        max_victims_per_row: cap on sampled victims sharing one row.
+            Victims in the same row are tested in the same physical
+            write, so a dense row lets one victim's zeroed region land
+            on another's aggressor and fabricate distances; keeping
+            rows sparse (the paper's chips have 32 K rows, so this is
+            the natural regime) prevents that cross-contamination.
+        ranking_threshold: a distance must be reported by at least this
+            fraction of the active victim sample to survive ranking
+            (Section 5.2.4, second filter).
+        marginal_region_fraction: a victim failing in more than this
+            fraction of the regions tested at one level is discarded as
+            marginal (Section 5.2.4, first filter).
+        scheduler: "sparse" (stride classes, context-safe), "greedy"
+            (conflict-graph colouring, fewest rounds), or "paper" (the
+            paper's serial-chunk scheme) for the neighbour-aware
+            full-chip sweep.
+    """
+
+    fanouts: Tuple[int, ...] = (2, 8, 8, 8, 8)
+    n_discovery_tests: int = 10
+    sample_size: int = 10_000
+    max_victims_per_row: int = 8
+    ranking_threshold: float = 0.06
+    marginal_region_fraction: float = 0.3
+    scheduler: str = "sparse"
+
+    def __post_init__(self) -> None:
+        if self.n_discovery_tests < 2:
+            raise ValueError("discovery needs at least two tests")
+        if self.max_victims_per_row < 1:
+            raise ValueError("max_victims_per_row must be positive")
+        if not 0.0 < self.ranking_threshold <= 1.0:
+            raise ValueError("ranking_threshold must be in (0, 1]")
+        if not 0.0 < self.marginal_region_fraction <= 1.0:
+            raise ValueError("marginal_region_fraction must be in (0, 1]")
+        if self.scheduler not in ("sparse", "greedy", "paper"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+    def sizes_for(self, row_bits: int) -> Tuple[int, ...]:
+        return region_sizes(row_bits, self.fanouts)
+
+
+DEFAULT_CONFIG = ParborConfig()

@@ -1,0 +1,161 @@
+"""The five-step PARBOR pipeline (paper Section 5.1).
+
+1. Build an initial victim sample with a battery of data patterns.
+2. Recursively test all victim rows in parallel, halving/subdividing
+   regions until single-bit neighbour locations emerge.
+3. Aggregate the distances found across victims (union).
+4. Filter random failures (marginal victims, infrequent distances).
+5. Sweep the whole chip with neighbour-aware patterns to uncover every
+   data-dependent failure.
+
+Steps 2-4 are interleaved per level inside
+:func:`repro.core.recursion.recursive_neighbour_search`; this module
+orchestrates the pipeline and runs the final sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..dram.chip import DramChip
+from ..dram.controller import MemoryController
+from ..dram.module import DramModule
+from .config import DEFAULT_CONFIG, ParborConfig
+from .patterns import inverse
+from .recursion import RecursionResult, recursive_neighbour_search
+from .remap_recovery import RecoveryResult, recover_irregular_victims
+from .scheduler import TestSchedule, build_schedule
+from .victims import VictimSample, find_initial_victims
+
+__all__ = ["ParborResult", "run_parbor", "neighbour_aware_sweep",
+           "controllers_for"]
+
+Coord = Tuple[int, int, int, int]  # (chip, bank, row, sys_col)
+
+
+@dataclass
+class ParborResult:
+    """Outcome of a full PARBOR campaign against one module or chip.
+
+    Attributes:
+        distances: final signed neighbour distances.
+        recursion: per-level recursion record (Table 1 / Figure 11).
+        sample: the initial victim sample used.
+        detected: coordinates of every cell the neighbour-aware sweep
+            flagged as failing.
+        n_discovery_tests / n_recursion_tests / n_sweep_rounds: test
+            budget split, as itemised in Section 7.2 ("(i) recursive
+            test ... (ii) neighbour-aware patterns ... (iii) initial
+            tests").
+        schedule: the sweep schedule (None when no distances found).
+        recovery: per-victim aggressor maps for remapped-column
+            victims (None unless requested; Section 7.3 extension).
+    """
+
+    distances: List[int]
+    recursion: RecursionResult
+    sample: VictimSample
+    detected: Set[Coord] = field(default_factory=set)
+    n_discovery_tests: int = 0
+    n_recursion_tests: int = 0
+    n_sweep_rounds: int = 0
+    schedule: Optional[TestSchedule] = None
+    recovery: Optional[RecoveryResult] = None
+
+    @property
+    def total_tests(self) -> int:
+        """Total campaign budget in whole-chip test units."""
+        extra = self.recovery.tests if self.recovery else 0
+        return (self.n_discovery_tests + self.n_recursion_tests
+                + self.n_sweep_rounds + extra)
+
+    def magnitudes(self) -> List[int]:
+        return sorted({abs(d) for d in self.distances})
+
+
+def controllers_for(target: Union[DramModule, DramChip,
+                                  Sequence[DramChip]]
+                    ) -> List[MemoryController]:
+    """Wrap a module / chip / chip list in per-chip controllers."""
+    if isinstance(target, DramModule):
+        chips: Iterable[DramChip] = target.chips
+    elif isinstance(target, DramChip):
+        chips = [target]
+    else:
+        chips = list(target)
+    return [MemoryController(chip) for chip in chips]
+
+
+def neighbour_aware_sweep(controllers: Sequence[MemoryController],
+                          schedule: TestSchedule) -> Set[Coord]:
+    """Run every scheduled round (and inverse) against every chip.
+
+    Returns the union of failing coordinates - PARBOR's detected
+    data-dependent failures.
+    """
+    detected: Set[Coord] = set()
+    for pattern in schedule.patterns:
+        for polarity in (pattern, inverse(pattern)):
+            for chip_idx, ctrl in enumerate(controllers):
+                per_bank = ctrl.test_pattern(polarity)
+                for bank_idx, (rows, cols) in enumerate(per_bank):
+                    detected.update(
+                        (chip_idx, bank_idx, int(r), int(c))
+                        for r, c in zip(rows.tolist(), cols.tolist()))
+    return detected
+
+
+def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
+               config: ParborConfig = DEFAULT_CONFIG,
+               seed: int = 0,
+               run_sweep: bool = True,
+               recover_remapped: bool = False) -> ParborResult:
+    """Run the full PARBOR campaign.
+
+    Args:
+        target: a module, chip, or list of chips (same geometry).
+        config: campaign configuration.
+        seed: RNG seed for discovery patterns and sampling.
+        run_sweep: skip step 5 when only the neighbour distances are
+            needed (e.g. the Table 1 / Figure 11 experiments).
+        recover_remapped: after the sweep, probe victims the sweep
+            failed to flip with per-victim recursions to locate their
+            irregular (remapped-column) aggressors - the Section 7.3
+            extension. Their aggressor maps land in
+            ``result.recovery`` and the victims join
+            ``result.detected``.
+
+    Returns:
+        A :class:`ParborResult`.
+    """
+    controllers = controllers_for(target)
+    rng = np.random.default_rng(seed)
+
+    sample = find_initial_victims(controllers, config, rng)
+    recursion = recursive_neighbour_search(controllers, sample, config)
+
+    result = ParborResult(
+        distances=recursion.distances, recursion=recursion, sample=sample,
+        n_discovery_tests=sample.n_discovery_tests,
+        n_recursion_tests=recursion.total_tests)
+
+    if run_sweep and recursion.distances:
+        schedule = build_schedule(controllers[0].row_bits,
+                                  recursion.distances,
+                                  scheme=config.scheduler)
+        result.schedule = schedule
+        result.n_sweep_rounds = schedule.total_rounds
+        result.detected = neighbour_aware_sweep(controllers, schedule)
+        if recover_remapped:
+            residual = [c for c in sample.coords()
+                        if c not in result.detected]
+            result.recovery = recover_irregular_victims(
+                controllers, residual, config)
+            result.detected.update(result.recovery.recovered_coords())
+        # Discovery-phase failures are part of the campaign's budget
+        # and therefore of its detections.
+        result.detected |= sample.observed_failures
+    return result

@@ -1,0 +1,249 @@
+"""Classic March memory tests (the manufacturing-test baseline).
+
+March tests are the standard RAM test family (the paper's refs
+[19, 77] build NPSF detection on them): a sequence of *elements*, each
+walking the address space in a direction and applying read/verify and
+write operations per location. We implement them at row granularity
+over the system-level controller, with an optional retention pause
+between elements (the "delay" variants used for retention screening -
+writing a background, waiting out the refresh interval, then marching
+reads).
+
+Notation (van de Goor): ``{b(w0); u(r0,w1); d(r1,w0)}`` - ``b`` either
+direction, ``u`` ascending, ``d`` descending; ``w0/w1`` write the
+background/inverse-background, ``r0/r1`` read and verify it. With the
+default all-zeros background these are the paper's "simple tests with
+all 0s/1s data patterns" (Section 3, Challenge 2): they catch
+stuck-at/weak cells but place *uniform* data in every row, so
+data-dependent failures stay invisible. A checkerboard background
+catches couplings between system-adjacent cells only - the scrambler
+hides the rest, which is exactly the gap PARBOR closes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..dram.controller import MemoryController
+from .patterns import inverse, solid
+
+__all__ = ["MarchOp", "MarchElement", "MarchTest", "parse_march",
+           "run_march", "MATS_PLUS", "MARCH_C_MINUS", "MARCH_B",
+           "MARCH_SS", "MARCH_LR", "MarchOutcome"]
+
+Coord = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class MarchOp:
+    """One read-verify or write operation.
+
+    Attributes:
+        kind: "r" (read and verify) or "w" (write).
+        value: 0 for the background, 1 for its inverse.
+    """
+
+    kind: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w"):
+            raise ValueError(f"op kind must be r or w, got {self.kind!r}")
+        if self.value not in (0, 1):
+            raise ValueError(f"op value must be 0 or 1, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.value}"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """A directed pass over the address space.
+
+    Attributes:
+        direction: +1 ascending, -1 descending, 0 either.
+        ops: operations applied at each address before moving on.
+    """
+
+    direction: int
+    ops: Tuple[MarchOp, ...]
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 0, 1):
+            raise ValueError("direction must be -1, 0, or +1")
+        if not self.ops:
+            raise ValueError("an element needs at least one operation")
+
+    def __str__(self) -> str:
+        sym = {1: "u", -1: "d", 0: "b"}[self.direction]
+        return f"{sym}({','.join(str(op) for op in self.ops)})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named sequence of march elements.
+
+    Attributes:
+        name: conventional test name.
+        elements: the element sequence.
+        pause_between: insert a retention wait between elements (the
+            delay variant; required for retention-class faults).
+    """
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+    pause_between: bool = True
+
+    @property
+    def ops_per_cell(self) -> int:
+        """Complexity in operations per cell (e.g. 10n for March C-)."""
+        return sum(len(e.ops) for e in self.elements)
+
+    def notation(self) -> str:
+        """Van de Goor notation, re-parseable by :func:`parse_march`."""
+        body = "; ".join(str(e) for e in self.elements)
+        return f"{{{body}}}"
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.notation()}"
+
+
+_ELEMENT_RE = re.compile(r"([udb])\(([rw][01](?:,[rw][01])*)\)")
+
+
+def parse_march(name: str, notation: str,
+                pause_between: bool = True) -> MarchTest:
+    """Parse van de Goor notation into a :class:`MarchTest`.
+
+    Example: ``parse_march("MATS+", "{b(w0); u(r0,w1); d(r1,w0)}")``.
+    """
+    stripped = notation.replace(" ", "")
+    if not (stripped.startswith("{") and stripped.endswith("}")):
+        raise ValueError(f"march notation must be braced: {notation!r}")
+    body = stripped[1:-1]
+    elements: List[MarchElement] = []
+    consumed = 0
+    for match in _ELEMENT_RE.finditer(body):
+        direction = {"u": 1, "d": -1, "b": 0}[match.group(1)]
+        ops = tuple(MarchOp(kind=tok[0], value=int(tok[1]))
+                    for tok in match.group(2).split(","))
+        elements.append(MarchElement(direction=direction, ops=ops))
+        consumed += len(match.group(0))
+    leftovers = body.replace(";", "")
+    if consumed != len(leftovers):
+        raise ValueError(f"unparseable march notation: {notation!r}")
+    if not elements:
+        raise ValueError(f"empty march test: {notation!r}")
+    return MarchTest(name=name, elements=tuple(elements),
+                     pause_between=pause_between)
+
+
+#: MATS+ (5n): the minimal address-fault test.
+MATS_PLUS = parse_march("MATS+", "{b(w0); u(r0,w1); d(r1,w0)}")
+
+#: March C- (10n): the de-facto standard coupling-fault test.
+MARCH_C_MINUS = parse_march(
+    "March C-",
+    "{b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0)}")
+
+#: March B (17n): linked-fault coverage.
+MARCH_B = parse_march(
+    "March B",
+    "{b(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); "
+    "d(r0,w1,w0)}")
+
+#: March SS (22n): simple static-fault complete.
+MARCH_SS = parse_march(
+    "March SS",
+    "{b(w0); u(r0,r0,w0,r0,w1); u(r1,r1,w1,r1,w0); "
+    "d(r0,r0,w0,r0,w1); d(r1,r1,w1,r1,w0); b(r0)}")
+
+#: March LR (14n): linked realistic faults.
+MARCH_LR = parse_march(
+    "March LR",
+    "{b(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); "
+    "b(r0)}")
+
+
+@dataclass
+class MarchOutcome:
+    """Result of one march run against a chip set.
+
+    Attributes:
+        test_name: which march ran.
+        detected: coordinates whose read-verify mismatched.
+        row_operations: total row-level operations issued.
+        retention_waits: pauses taken.
+    """
+
+    test_name: str
+    detected: Set[Coord] = field(default_factory=set)
+    row_operations: int = 0
+    retention_waits: int = 0
+
+
+def _row_order(n_rows: int, direction: int) -> np.ndarray:
+    if direction >= 0:
+        return np.arange(n_rows)
+    return np.arange(n_rows - 1, -1, -1)
+
+
+def run_march(controllers: Sequence[MemoryController],
+              test: MarchTest,
+              background: Optional[np.ndarray] = None) -> MarchOutcome:
+    """Execute a march test at row granularity over every chip.
+
+    Args:
+        controllers: one per chip.
+        test: the march to run.
+        background: row-length 0/1 array substituted for "0"; its
+            inverse substitutes "1" (the standard pattern-sensitive
+            generalisation). Default: all zeros, i.e. the classic
+            solid march.
+
+    Returns:
+        A :class:`MarchOutcome` with every mismatching coordinate.
+    """
+    if not controllers:
+        raise ValueError("need at least one controller")
+    row_bits = controllers[0].row_bits
+    if background is None:
+        background = solid(row_bits, 0)
+    background = np.asarray(background, dtype=np.uint8)
+    patterns = {0: background, 1: inverse(background)}
+
+    outcome = MarchOutcome(test_name=test.name)
+    for index, element in enumerate(test.elements):
+        if test.pause_between and index > 0:
+            # Retention wait: latent retention/coupling failures
+            # corrupt the stored values and surface at the next reads.
+            for chip_idx, ctrl in enumerate(controllers):
+                ctrl.stats.retention_waits += 1
+                for bank_idx, bank in enumerate(ctrl.chip.banks):
+                    rows, cols = bank.retention_failures()
+                    for r, c in zip(rows.tolist(), cols.tolist()):
+                        outcome.detected.add((chip_idx, bank_idx,
+                                              int(r), int(c)))
+            outcome.retention_waits += 1
+
+        for chip_idx, ctrl in enumerate(controllers):
+            for bank_idx in range(ctrl.n_banks):
+                order = _row_order(ctrl.n_rows, element.direction)
+                for row in order:
+                    for op in element.ops:
+                        outcome.row_operations += 1
+                        if op.kind == "w":
+                            ctrl.write_row(bank_idx, int(row),
+                                           patterns[op.value])
+                        else:
+                            observed = ctrl.read_row(bank_idx, int(row))
+                            mism = np.flatnonzero(
+                                observed != patterns[op.value])
+                            outcome.detected.update(
+                                (chip_idx, bank_idx, int(row), int(c))
+                                for c in mism.tolist())
+    return outcome

@@ -1,0 +1,130 @@
+"""Analytic campaign planning: predict budgets before testing.
+
+Given a hypothesised neighbour distance set, the per-level recursion
+arithmetic is fully determined: a victim at in-region offset ``o``
+with a neighbour at signed bit distance ``d`` implicates the region at
+distance ``(o + d) // size - o // size``, and the ranking filter keeps
+the distances whose victim share clears the threshold. Iterating that
+over the levels predicts the paper's Table 1 test counts - and the
+whole campaign budget and wall clock - without touching a chip.
+
+The prediction assumes victims are uniformly placed and strongly
+coupled with equal probability to each signed distance (the
+balanced-scrambler regime); real chips with skewed step usage shift
+the frequencies accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..dram.timing import DDR3_1600, DramTiming
+from .complexity import module_test_time_s
+from .config import ParborConfig
+from .scheduler import sparse_stride
+
+__all__ = ["CampaignPlan", "plan_campaign", "predict_level_distances"]
+
+
+def predict_level_distances(distances: Sequence[int], row_bits: int,
+                            fanouts: Sequence[int], threshold: float
+                            ) -> List[Tuple[int, List[int]]]:
+    """Predicted (tests, kept distances) per recursion level.
+
+    Args:
+        distances: signed neighbour distances of the scrambler.
+        row_bits: bits per row.
+        fanouts: per-level subdivision factors.
+        threshold: ranking threshold (fraction of the sample).
+
+    Returns:
+        One ``(tests, kept)`` pair per level, in level order.
+    """
+    signed = sorted({int(d) for d in distances if d != 0})
+    if not signed:
+        raise ValueError("need a non-empty distance set")
+    weight = 1.0 / len(signed)
+
+    sizes: List[int] = []
+    size = row_bits
+    for fan in fanouts:
+        size //= fan
+        sizes.append(size)
+
+    plan: List[Tuple[int, List[int]]] = []
+    kept_prev: List[int] = [0]
+    prev_size = row_bits
+    for size, fan in zip(sizes, fanouts):
+        tests = len(kept_prev) * fan
+        freq: Dict[int, float] = {}
+        # A victim's neighbour is only found if its previous-level
+        # region survived ranking; offsets are uniform within the
+        # previous region.
+        for d in signed:
+            for o in range(prev_size):
+                r_prev = (o + d) // prev_size
+                if r_prev not in kept_prev:
+                    continue
+                r_here = (o + d) // size - o // size
+                freq[r_here] = freq.get(r_here, 0.0) \
+                    + weight / prev_size
+        kept = sorted((r for r, f in freq.items() if f >= threshold),
+                      key=lambda r: (abs(r), r))
+        plan.append((tests, kept))
+        kept_prev = kept
+        prev_size = size
+        if not kept:
+            break
+    return plan
+
+
+@dataclass
+class CampaignPlan:
+    """Predicted budget of a full PARBOR campaign.
+
+    Attributes:
+        levels: per-level (tests, kept distances) predictions.
+        discovery_tests / recursion_tests / sweep_rounds: budget split.
+        wall_clock_s: whole-module wall clock at DDR3-1600 timing.
+    """
+
+    levels: List[Tuple[int, List[int]]]
+    discovery_tests: int
+    recursion_tests: int
+    sweep_rounds: int
+
+    @property
+    def total_tests(self) -> int:
+        return (self.discovery_tests + self.recursion_tests
+                + self.sweep_rounds)
+
+    def wall_clock_s(self, n_rows: int = 262_144,
+                     timing: DramTiming = DDR3_1600) -> float:
+        return module_test_time_s(self.total_tests, n_rows=n_rows,
+                                  timing=timing)
+
+
+def plan_campaign(distances: Sequence[int],
+                  config: ParborConfig = ParborConfig(),
+                  row_bits: int = 8192) -> CampaignPlan:
+    """Predict a campaign's budget for a hypothesised distance set.
+
+    The final level's kept distances also size the sweep (via the
+    sparse scheduler's stride), so the whole Section 7.2 budget
+    itemisation falls out analytically.
+    """
+    levels = predict_level_distances(distances, row_bits,
+                                     config.fanouts,
+                                     config.ranking_threshold)
+    recursion_tests = sum(tests for tests, _kept in levels)
+    final = levels[-1][1] if levels else []
+    if final:
+        stride = sparse_stride([abs(d) for d in final])
+        sweep = 2 * stride
+    else:
+        sweep = 0
+    return CampaignPlan(levels=levels,
+                        discovery_tests=config.n_discovery_tests,
+                        recursion_tests=recursion_tests,
+                        sweep_rounds=sweep)

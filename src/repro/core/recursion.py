@@ -1,0 +1,258 @@
+"""Parallel recursive neighbour-location testing (paper Section 5.2.3).
+
+The row is divided into progressively smaller regions (8192 -> 4096 ->
+512 -> 64 -> 8 -> 1 with the paper's fan-outs). At each level, for
+every *candidate distance* surviving the previous level's ranking and
+for every subregion, one logical test runs: every active victim's
+corresponding subregion is written with the value opposite to the
+victim, everything else with the victim's value, so only that subregion
+can disturb the victim. All victims - across rows, banks, and chips -
+are tested *simultaneously*, which is why the test count per level is
+``|candidate distances| * fanout`` regardless of sample size (Table 1).
+
+Each logical test is executed as a pattern/inverse pair so victims in
+both true-cell and anti-cell rows are exercised (paper footnote 3);
+Table-1 accounting counts the pair as one test.
+
+Region positions are tracked as *distances* from the victim's own
+region (Section 5.2.2): regularity of the scrambler makes these
+distances common across victims, so the union over the sample locates
+the neighbours of every cell in the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..dram.controller import MemoryController
+from .config import ParborConfig
+from .ranking import RankingOutcome, rank_distances
+from .victims import VictimSample
+
+__all__ = ["LevelResult", "RecursionResult", "recursive_neighbour_search"]
+
+
+@dataclass
+class LevelResult:
+    """Everything observed at one recursion level.
+
+    Attributes:
+        level: 1-based level index.
+        region_size: bits per region at this level.
+        candidate_distances: parent-granularity distances tested.
+        tests: logical tests executed at this level.
+        reporters: distance -> number of victims reporting it, *before*
+            ranking (this is Figure 14's histogram at level 4).
+        kept_distances: distances surviving the ranking filter.
+        discarded_marginal: victims dropped by the marginal filter.
+        active_victims: victims still in the sample after this level.
+    """
+
+    level: int
+    region_size: int
+    candidate_distances: List[int]
+    tests: int
+    reporters: Dict[int, int]
+    kept_distances: List[int]
+    discarded_marginal: int
+    active_victims: int
+
+
+@dataclass
+class RecursionResult:
+    """Output of the recursive search.
+
+    Attributes:
+        levels: per-level records.
+        distances: final signed neighbour distances in the system
+            address space (region size 1).
+        total_tests: sum of logical tests over all levels.
+    """
+
+    levels: List[LevelResult] = field(default_factory=list)
+    distances: List[int] = field(default_factory=list)
+    total_tests: int = 0
+
+    @property
+    def tests_per_level(self) -> List[int]:
+        return [lv.tests for lv in self.levels]
+
+    def magnitudes(self) -> List[int]:
+        return sorted({abs(d) for d in self.distances})
+
+
+class _RowGroup:
+    """Victims of one (chip, bank) pair, grouped by row for batch I/O."""
+
+    def __init__(self, victim_idx: np.ndarray, rows: np.ndarray,
+                 cols: np.ndarray) -> None:
+        self.unique_rows, row_pos = np.unique(rows, return_inverse=True)
+        self.victim_idx = victim_idx    # indices into the global sample
+        self.row_pos = row_pos          # victim -> index into unique_rows
+        self.cols = cols
+
+    def __len__(self) -> int:
+        return len(self.victim_idx)
+
+
+def _group_victims(sample: VictimSample, active: np.ndarray
+                   ) -> Dict[Tuple[int, int], _RowGroup]:
+    groups: Dict[Tuple[int, int], _RowGroup] = {}
+    idx = np.flatnonzero(active)
+    keys = list(zip(sample.chip[idx].tolist(), sample.bank[idx].tolist()))
+    order: Dict[Tuple[int, int], List[int]] = {}
+    for i, key in zip(idx.tolist(), keys):
+        order.setdefault(key, []).append(i)
+    for key, members in order.items():
+        members_arr = np.asarray(members, dtype=np.int64)
+        groups[key] = _RowGroup(victim_idx=members_arr,
+                                rows=sample.row[members_arr],
+                                cols=sample.col[members_arr])
+    return groups
+
+
+def _run_region_test(controllers: Sequence[MemoryController],
+                     groups: Dict[Tuple[int, int], _RowGroup],
+                     sub_abs: np.ndarray, covered: np.ndarray,
+                     sample: VictimSample, region_size: int
+                     ) -> np.ndarray:
+    """Execute one logical test; return per-victim failure mask.
+
+    Args:
+        controllers: one per chip.
+        groups: victims grouped by (chip, bank).
+        sub_abs: per-victim absolute subregion index (global sample
+            indexing; only entries where ``covered`` is True matter).
+        covered: per-victim mask - False where the candidate region
+            falls outside the row for that victim.
+        sample: the victim sample (for columns).
+        region_size: bits per subregion at this level.
+    """
+    row_bits = controllers[0].row_bits
+    failed = np.zeros(len(sample), dtype=bool)
+    for (chip_idx, bank_idx), group in groups.items():
+        vi = group.victim_idx
+        use = covered[vi]
+        if not use.any():
+            continue
+        data = np.ones((len(group.unique_rows), row_bits), dtype=np.uint8)
+        # Zero every covered victim's subregion in its own row.
+        starts = sub_abs[vi[use]] * region_size
+        rows_of = group.row_pos[use]
+        for r, s in zip(rows_of.tolist(), starts.tolist()):
+            data[r, s:s + region_size] = 0
+        # Victim bits carry the opposite value of their region.
+        data[group.row_pos, group.cols] = 1
+
+        ctrl = controllers[chip_idx]
+        observed = ctrl.test_rows(bank_idx, group.unique_rows, data)
+        flip_pos = observed[group.row_pos, group.cols] != 1
+        observed_inv = ctrl.test_rows(bank_idx, group.unique_rows, 1 - data)
+        flip_inv = observed_inv[group.row_pos, group.cols] != 0
+        failed[vi] |= (flip_pos | flip_inv) & use[...]
+    return failed
+
+
+def recursive_neighbour_search(controllers: Sequence[MemoryController],
+                               sample: VictimSample,
+                               config: ParborConfig
+                               ) -> RecursionResult:
+    """Run the full multi-level recursion over a victim sample.
+
+    Args:
+        controllers: one memory controller per chip; all victims'
+            ``chip`` indices must address this list.
+        sample: initial victim sample from discovery.
+        config: campaign configuration.
+
+    Returns:
+        A :class:`RecursionResult`; ``result.distances`` is the union
+        of neighbour distances PARBOR would use for the whole chip.
+    """
+    if not controllers:
+        raise ValueError("need at least one controller")
+    row_bits = controllers[0].row_bits
+    sizes = config.sizes_for(row_bits)
+    result = RecursionResult()
+    if len(sample) == 0:
+        return result
+
+    active = np.ones(len(sample), dtype=bool)
+    candidate_dists: List[int] = [0]
+    prev_size = row_bits
+
+    for li, size in enumerate(sizes):
+        fan = prev_size // size
+        n_regions = row_bits // size
+        groups = _group_victims(sample, active)
+
+        found: List[Set[int]] = [set() for _ in range(len(sample))]
+        tested = np.zeros(len(sample), dtype=np.int64)
+        v_prev_region = sample.col // prev_size
+        v_region = sample.col // size
+        tests = 0
+
+        for d in candidate_dists:
+            parent = v_prev_region + d
+            in_range = (parent >= 0) & (parent < row_bits // prev_size)
+            for j in range(fan):
+                sub_abs = parent * fan + j
+                covered = active & in_range & (sub_abs >= 0) \
+                    & (sub_abs < n_regions)
+                # The size-1 "region" that is the victim itself cannot
+                # be tested against it.
+                if size == 1:
+                    covered &= sub_abs != sample.col
+                tests += 1
+                if not covered.any():
+                    continue
+                failed = _run_region_test(controllers, groups, sub_abs,
+                                          covered, sample, size)
+                tested[covered] += 1
+                for v in np.flatnonzero(failed & covered).tolist():
+                    found[v].add(int(sub_abs[v] - v_region[v]))
+
+        # Marginal filter (Section 5.2.4, first filter): a victim
+        # failing in most tested regions is noise, not data dependence.
+        # Failing in *every* tested region - even the two level-1
+        # halves - marks a content-independent cell (weak cell, leaky
+        # VRT) regardless of how few regions were tested, because a
+        # real victim's neighbours cannot be everywhere at once.
+        marginal = np.zeros(len(sample), dtype=bool)
+        for v in np.flatnonzero(active).tolist():
+            if tested[v] >= 2 and len(found[v]) == tested[v]:
+                marginal[v] = True
+            elif tested[v] >= 4 and (len(found[v])
+                                     > config.marginal_region_fraction
+                                     * tested[v]):
+                marginal[v] = True
+        active &= ~marginal
+
+        reporters: Dict[int, int] = {}
+        for v in np.flatnonzero(active).tolist():
+            for dist in found[v]:
+                reporters[dist] = reporters.get(dist, 0) + 1
+        outcome: RankingOutcome = rank_distances(
+            reporters, n_active=int(active.sum()),
+            threshold=config.ranking_threshold)
+
+        result.levels.append(LevelResult(
+            level=li + 1, region_size=size,
+            candidate_distances=list(candidate_dists), tests=tests,
+            reporters=reporters, kept_distances=outcome.kept,
+            discarded_marginal=int(marginal.sum()),
+            active_victims=int(active.sum())))
+        result.total_tests += tests
+
+        candidate_dists = outcome.kept
+        prev_size = size
+        if not candidate_dists:
+            break
+
+    if result.levels and result.levels[-1].region_size == 1:
+        result.distances = sorted(result.levels[-1].kept_distances,
+                                  key=lambda d: (abs(d), d))
+    return result

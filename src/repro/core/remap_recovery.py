@@ -1,0 +1,171 @@
+"""Remapped-cell recovery: the paper's Section 7.3 extension.
+
+A small number of faulty columns are steered to spare columns at
+manufacturing time; victims living there have *irregular*
+neighbourhoods, so their aggressor distances show up as infrequent
+regions during the main recursion and are (correctly) filtered out as
+noise. The paper sketches the fix: "by taking into account these
+infrequent regions in intelligent ways, it would be possible to detect
+the neighboring locations of remapped cells."
+
+This module implements that extension as adaptive *two-defective group
+testing* on each residual victim - a victim the campaign confirmed as
+data-dependent but the neighbour-aware sweep failed to flip:
+
+1. Write the whole row opposite to the victim. If the victim does not
+   flip, it is not reproducibly data-dependent (a sweep coin-miss or a
+   context-sensitive cell) - skip it.
+2. Descend a binary region tree: while some single half, written
+   opposite on its own, flips the victim, both aggressors (or the one
+   dominant aggressor) lie in that half.
+3. When neither half alone flips the victim, the two aggressors are
+   split across the halves: *anchor* one half fully opposite and
+   binary-search the other, then swap.
+
+The cost is O(log n) tests per victim - affordable because only a
+handful of victims are residual - versus the O(n^2) pair test the
+paper's Section 3 rules out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dram.controller import MemoryController
+from .config import ParborConfig
+
+__all__ = ["recover_irregular_victims", "RecoveryResult"]
+
+Coord = Tuple[int, int, int, int]
+
+
+class RecoveryResult:
+    """Per-victim aggressor addresses found by adaptive group testing.
+
+    Attributes:
+        aggressors: victim coordinate -> sorted list of *absolute*
+            system bit addresses that disturb it.
+        tests: total extra whole-chip tests spent.
+        attempted: how many residual victims were probed.
+    """
+
+    def __init__(self) -> None:
+        self.aggressors: Dict[Coord, List[int]] = {}
+        self.tests = 0
+        self.attempted = 0
+
+    def __len__(self) -> int:
+        return len(self.aggressors)
+
+    def recovered_coords(self) -> List[Coord]:
+        return sorted(self.aggressors)
+
+
+class _VictimProbe:
+    """Issues region tests against one victim and counts them."""
+
+    def __init__(self, ctrl: MemoryController, coord: Coord,
+                 repeats: int = 2) -> None:
+        _chip, self.bank, self.row, self.col = coord
+        self.ctrl = ctrl
+        self.row_bits = ctrl.row_bits
+        self.repeats = repeats
+        self.tests = 0
+
+    def fails(self, spans: Sequence[Tuple[int, int]]) -> bool:
+        """Does the victim flip when ``spans`` are written opposite?
+
+        Pattern: victim 1, the given [start, stop) spans 0, everything
+        else 1 - plus the inverse for anti rows. Retries soak up the
+        per-exposure failure probability.
+        """
+        data = np.ones(self.row_bits, dtype=np.uint8)
+        for start, stop in spans:
+            data[max(0, start):min(self.row_bits, stop)] = 0
+        data[self.col] = 1
+        rows = np.asarray([self.row])
+        for _ in range(self.repeats):
+            self.tests += 1
+            observed = self.ctrl.test_rows(self.bank, rows, data[None, :])
+            if observed[0, self.col] != 1:
+                return True
+            observed = self.ctrl.test_rows(self.bank, rows,
+                                           (1 - data)[None, :])
+            if observed[0, self.col] != 0:
+                return True
+        return False
+
+
+def _descend(probe: _VictimProbe, start: int, stop: int,
+             anchor: Optional[Tuple[int, int]]) -> Optional[int]:
+    """Binary-search one aggressor inside [start, stop).
+
+    ``anchor`` is an extra span held opposite throughout (the other
+    aggressor's region). Returns the bit address, or None if the
+    search dead-ends (noise or a >2-aggressor cell).
+    """
+    anchor_spans = [anchor] if anchor else []
+    while stop - start > 1:
+        mid = (start + stop) // 2
+        if probe.fails(anchor_spans + [(start, mid)]):
+            stop = mid
+        elif probe.fails(anchor_spans + [(mid, stop)]):
+            start = mid
+        else:
+            return None
+    return start
+
+
+def _locate_aggressors(probe: _VictimProbe) -> List[int]:
+    """Full adaptive search for one victim's aggressor addresses."""
+    n = probe.row_bits
+    if not probe.fails([(0, n)]):
+        return []   # not reproducibly data-dependent in isolation
+
+    start, stop = 0, n
+    while stop - start > 1:
+        mid = (start + stop) // 2
+        if probe.fails([(start, mid)]):
+            stop = mid
+        elif probe.fails([(mid, stop)]):
+            start = mid
+        else:
+            # Aggressors split across the halves: anchor each side.
+            left = _descend(probe, start, mid, anchor=(mid, stop))
+            right = _descend(probe, mid, stop, anchor=(start, mid))
+            found = [a for a in (left, right) if a is not None]
+            return sorted(found)
+    # A single dominant aggressor (or both in one bit - impossible).
+    return [start] if start != probe.col else []
+
+
+def recover_irregular_victims(controllers: Sequence[MemoryController],
+                              residual: Sequence[Coord],
+                              config: ParborConfig,
+                              max_victims: int = 200) -> RecoveryResult:
+    """Locate the aggressors of victims with irregular neighbourhoods.
+
+    Args:
+        controllers: one per chip (same list the campaign used).
+        residual: victim coordinates confirmed data-dependent but not
+            flipped by the neighbour-aware sweep - remapped-column
+            suspects.
+        config: campaign configuration (kept for API symmetry; the
+            group test is parameter-free).
+        max_victims: safety cap on how many victims to probe.
+
+    Returns:
+        A :class:`RecoveryResult` with per-victim aggressor addresses.
+    """
+    del config  # adaptive group testing needs no tunables
+    result = RecoveryResult()
+    for coord in sorted(residual)[:max_victims]:
+        result.attempted += 1
+        probe = _VictimProbe(controllers[coord[0]], coord)
+        addresses = _locate_aggressors(probe)
+        result.tests += probe.tests
+        if addresses:
+            result.aggressors[coord] = addresses
+    return result

@@ -1,0 +1,17 @@
+"""DC-REF: data content-based refresh (the paper's Section 8)."""
+
+from .dclat import DcLatPolicy
+from .content import (VulnerableRow, build_vulnerability_map,
+                      row_matches_worst_case)
+from .evaluate import (Fig16Summary, WorkloadOutcome, evaluate_workload,
+                       run_fig16)
+from .profiling import RetentionProfile, profile_retention
+from .raidr import bins_from_failures, retention_bins, weak_row_fraction
+
+__all__ = [
+    "Fig16Summary", "VulnerableRow", "WorkloadOutcome",
+    "bins_from_failures", "build_vulnerability_map", "evaluate_workload",
+    "DcLatPolicy", "RetentionProfile", "profile_retention",
+    "retention_bins", "row_matches_worst_case", "run_fig16",
+    "weak_row_fraction",
+]

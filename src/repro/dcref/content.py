@@ -1,0 +1,85 @@
+"""Exact worst-case-pattern content matching (DC-REF's write check).
+
+DC-REF flags a row for fast refresh when the data just written matches
+the worst-case pattern at any of the row's vulnerable cells: the
+victim holds the charged value while its PARBOR-located neighbours
+hold the opposite (paper Section 8). This module is the exact matcher
+used when a real failure profile is available (examples, tests); the
+system simulator uses its statistical image (per-app match
+probability) for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["VulnerableRow", "row_matches_worst_case",
+           "build_vulnerability_map"]
+
+Coord = Tuple[int, int, int, int]
+
+
+class VulnerableRow:
+    """The vulnerable columns of one row plus the distance set."""
+
+    def __init__(self, columns: Sequence[int],
+                 distances: Sequence[int], row_bits: int) -> None:
+        self.columns = np.asarray(sorted(set(columns)), dtype=np.int64)
+        self.distances = sorted({int(d) for d in distances if d != 0},
+                                key=lambda d: (abs(d), d))
+        if not self.distances:
+            raise ValueError("need a non-empty distance set")
+        self.row_bits = row_bits
+
+    def matches(self, content: np.ndarray) -> bool:
+        return row_matches_worst_case(content, self.columns,
+                                      self.distances)
+
+
+def row_matches_worst_case(content: np.ndarray,
+                           vulnerable_cols: Sequence[int],
+                           distances: Sequence[int]) -> bool:
+    """Does this row content hit any vulnerable cell's worst case?
+
+    A vulnerable cell at column ``c`` is in the worst case when it
+    holds 1 while every in-row neighbour ``c + d`` holds 0 (the
+    inverse polarity - 0 surrounded by 1s - is equally dangerous for
+    anti cells, so both are checked).
+    """
+    content = np.asarray(content, dtype=np.uint8)
+    cols = np.asarray(vulnerable_cols, dtype=np.int64)
+    if len(cols) == 0:
+        return False
+    n = len(content)
+    for polarity in (1, 0):
+        candidate = content[cols] == polarity
+        if not candidate.any():
+            continue
+        worst = candidate.copy()
+        for d in distances:
+            pos = cols + d
+            in_row = (pos >= 0) & (pos < n)
+            opposite = np.ones(len(cols), dtype=bool)
+            opposite[in_row] = content[pos[in_row]] != polarity
+            worst &= opposite
+        if worst.any():
+            return True
+    return False
+
+
+def build_vulnerability_map(detected: Set[Coord], distances: List[int],
+                            row_bits: int
+                            ) -> Dict[Tuple[int, int, int], VulnerableRow]:
+    """Index PARBOR's detected failures by (chip, bank, row).
+
+    The result maps each row with at least one data-dependent failure
+    to a :class:`VulnerableRow` matcher - the bridge between a PARBOR
+    campaign and a deployable DC-REF write filter.
+    """
+    per_row: Dict[Tuple[int, int, int], List[int]] = {}
+    for chip, bank, row, col in detected:
+        per_row.setdefault((chip, bank, row), []).append(col)
+    return {key: VulnerableRow(cols, distances, row_bits)
+            for key, cols in per_row.items()}

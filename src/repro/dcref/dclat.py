@@ -1,0 +1,63 @@
+"""DC-LAT: data-content-aware DRAM latency reduction.
+
+The paper's closing suggestion (Section 8): "similar data-content
+aware optimizations can also be developed on top of DRAM latency
+reduction mechanisms [17, 18, 27, 43, 69] to achieve further latency
+reduction benefits." Adaptive-Latency DRAM (its ref [43]) shortens
+tRCD/tCAS for accesses that can tolerate a reduced charge margin;
+content awareness extends the eligible set: a row whose *current*
+content cannot trigger its coupling failures can be accessed with the
+reduced timings even if it holds vulnerable cells.
+
+:class:`DcLatPolicy` therefore extends DC-REF's per-row content
+tracking with an access-time query: rows that are not "hot" (no
+vulnerable cell in its worst-case configuration) are eligible for
+scaled tRCD/tCAS. The command-level controller honours the scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.params import SystemConfig
+from ..sim.refresh import DcRefPolicy
+
+__all__ = ["DcLatPolicy"]
+
+
+class DcLatPolicy(DcRefPolicy):
+    """DC-REF refresh plus content-gated access-latency reduction.
+
+    Attributes:
+        access_scale: multiplier applied to tRCD and tCAS for accesses
+            to content-safe rows. AL-DRAM measures 20-30% reductions
+            at typical conditions; 0.75 is the conservative default.
+    """
+
+    name = "dc-lat"
+
+    def __init__(self, config: SystemConfig, match_prob: float,
+                 seed: int = 0, access_scale: float = 0.75,
+                 initial_match: Optional[float] = None,
+                 weak_mask: Optional[np.ndarray] = None) -> None:
+        if not 0.0 < access_scale <= 1.0:
+            raise ValueError("access_scale must be in (0, 1]")
+        super().__init__(config, match_prob=match_prob, seed=seed,
+                         initial_match=initial_match,
+                         weak_mask=weak_mask)
+        self.access_scale = float(access_scale)
+
+    def fast_ok(self, bank: int, row: int) -> bool:
+        """May this row be accessed with the reduced timings?
+
+        Safe unless the row currently holds the worst-case pattern at
+        one of its vulnerable cells (the same "hot" state that forces
+        the fast refresh rate).
+        """
+        return not self.hot[bank, row]
+
+    def fast_fraction(self) -> float:
+        """Fraction of rows currently eligible for fast access."""
+        return 1.0 - self._hot_count / self.total_rows

@@ -1,0 +1,142 @@
+"""The Figure 16 experiment: DC-REF vs. RAIDR vs. 64 ms baseline.
+
+For every multi-programmed workload, the same request streams run
+under the three refresh policies; weighted speedup is computed against
+baseline alone-runs, and policy improvements are reported relative to
+the uniform-64 ms system, exactly as the paper plots them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.apps import AppProfile, app
+from ..sim.engine import SimResult, alone_ipc, simulate
+from ..sim.engine_detailed import alone_ipc_detailed, simulate_detailed
+from ..sim.metrics import weighted_speedup
+from ..sim.params import DEFAULT_CONFIG_32G, SystemConfig
+from ..sim.refresh import make_policy
+from ..sim.workloads import make_workloads, workload_profiles
+
+__all__ = ["WorkloadOutcome", "Fig16Summary", "evaluate_workload",
+           "run_fig16"]
+
+POLICIES = ("baseline", "raidr", "dcref")
+
+
+@dataclass
+class WorkloadOutcome:
+    """Weighted speedups and refresh stats for one workload."""
+
+    workload_id: int
+    apps: List[str]
+    weighted_speedup: Dict[str, float]
+    row_refreshes: Dict[str, float]
+    high_rate_fraction: Dict[str, float]
+
+    def improvement(self, policy: str, over: str = "baseline") -> float:
+        """Relative weighted-speedup gain of ``policy`` (percent)."""
+        return 100.0 * (self.weighted_speedup[policy]
+                        / self.weighted_speedup[over] - 1.0)
+
+    def refresh_reduction(self, policy: str,
+                          over: str = "baseline") -> float:
+        """Relative refresh-count reduction of ``policy`` (percent)."""
+        return 100.0 * (1.0 - self.row_refreshes[policy]
+                        / self.row_refreshes[over])
+
+
+@dataclass
+class Fig16Summary:
+    """Averages over all workloads (the paper's headline numbers)."""
+
+    outcomes: List[WorkloadOutcome]
+
+    def mean_improvement(self, policy: str,
+                         over: str = "baseline") -> float:
+        return float(np.mean([o.improvement(policy, over)
+                              for o in self.outcomes]))
+
+    def mean_refresh_reduction(self, policy: str,
+                               over: str = "baseline") -> float:
+        return float(np.mean([o.refresh_reduction(policy, over)
+                              for o in self.outcomes]))
+
+    def mean_high_rate_fraction(self, policy: str) -> float:
+        return float(np.mean([o.high_rate_fraction[policy]
+                              for o in self.outcomes]))
+
+
+def _match_prob_for(profiles: Sequence[AppProfile]) -> float:
+    """Workload-level worst-pattern match probability for writes."""
+    return float(np.mean([p.worst_match_prob for p in profiles]))
+
+
+def evaluate_workload(workload: List[str], workload_id: int,
+                      config: SystemConfig,
+                      alone: Dict[str, float], seed: int,
+                      n_instructions: int = 120_000,
+                      engine: str = "detailed") -> WorkloadOutcome:
+    """Run one workload under all three refresh policies.
+
+    ``engine`` selects the memory model: "detailed" (command-level
+    FR-FCFS controller, the default for evaluation) or "fast" (the
+    first-order model, for quick runs and the engine ablation).
+    """
+    run = _engine_fn(engine)
+    profiles = workload_profiles(workload)
+    alone_ipcs = [alone[name] for name in workload]
+    ws: Dict[str, float] = {}
+    refreshes: Dict[str, float] = {}
+    hot: Dict[str, float] = {}
+    for policy_name in POLICIES:
+        policy = make_policy(policy_name, config,
+                             match_prob=_match_prob_for(profiles),
+                             seed=seed)
+        result: SimResult = run(profiles, policy, config, seed=seed,
+                                n_instructions=n_instructions)
+        ws[policy_name] = weighted_speedup(result.ipcs, alone_ipcs)
+        refreshes[policy_name] = result.row_refreshes_per_window
+        hot[policy_name] = result.avg_high_rate_fraction
+    return WorkloadOutcome(workload_id=workload_id, apps=list(workload),
+                           weighted_speedup=ws, row_refreshes=refreshes,
+                           high_rate_fraction=hot)
+
+
+def _engine_fn(engine: str):
+    if engine == "detailed":
+        return simulate_detailed
+    if engine == "fast":
+        return simulate
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def run_fig16(n_workloads: int = 32, config: Optional[SystemConfig] = None,
+              seed: int = 2016,
+              n_instructions: int = 120_000,
+              engine: str = "detailed") -> Fig16Summary:
+    """The full Figure 16 sweep.
+
+    Alone-run IPCs (the weighted-speedup denominators) are measured
+    once per application on the baseline-refresh system, as is
+    standard for multi-programmed studies.
+    """
+    cfg = config or DEFAULT_CONFIG_32G
+    workloads = make_workloads(n_workloads=n_workloads, seed=seed)
+    needed = sorted({name for mix in workloads for name in mix})
+    alone_fn = (alone_ipc_detailed if engine == "detailed"
+                else alone_ipc)
+    alone: Dict[str, float] = {}
+    for name in needed:
+        policy = make_policy("baseline", cfg)
+        alone[name] = alone_fn(app(name), policy, cfg, seed=seed,
+                               n_instructions=n_instructions)
+    outcomes = [
+        evaluate_workload(mix, i + 1, cfg, alone, seed=seed + i,
+                          n_instructions=n_instructions, engine=engine)
+        for i, mix in enumerate(workloads)
+    ]
+    return Fig16Summary(outcomes=outcomes)

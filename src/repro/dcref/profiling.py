@@ -1,0 +1,97 @@
+"""Retention profiling: deriving RAIDR's row bins from real tests.
+
+RAIDR (the paper's refresh baseline, its ref [46]) needs to know which
+rows contain low-retention cells; the paper "collected the fraction of
+weak cells ... from real chips, using our FPGA-based infrastructure".
+This module is that profiling campaign against the simulated chips:
+write solid backgrounds (both polarities, covering true and anti
+cells), wait out a *relaxed* refresh interval, and bin every row by
+whether anything failed.
+
+Rows that fail at the relaxed interval must keep the fast 64 ms rate
+(under RAIDR unconditionally; under DC-REF only while their content
+matches the worst-case pattern); everything else can refresh at the
+relaxed rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.patterns import solid
+from ..dram.controller import MemoryController
+
+__all__ = ["RetentionProfile", "profile_retention"]
+
+
+@dataclass
+class RetentionProfile:
+    """Outcome of a retention-profiling campaign.
+
+    Attributes:
+        interval_s: the relaxed interval rows were screened at.
+        weak_rows: (chip, bank) -> bool row mask; True rows failed.
+        tests: whole-chip tests spent.
+    """
+
+    interval_s: float
+    weak_rows: Dict[Tuple[int, int], np.ndarray]
+    tests: int
+
+    def weak_row_fraction(self) -> float:
+        total = sum(mask.size for mask in self.weak_rows.values())
+        weak = sum(int(mask.sum()) for mask in self.weak_rows.values())
+        return weak / total if total else 0.0
+
+    def mask_array(self, n_chips: int, n_banks: int,
+                   n_rows: int) -> np.ndarray:
+        """Dense ``(chips, banks, rows)`` mask for policy construction."""
+        out = np.zeros((n_chips, n_banks, n_rows), dtype=bool)
+        for (chip, bank), mask in self.weak_rows.items():
+            out[chip, bank, :len(mask)] = mask
+        return out
+
+
+def profile_retention(controllers: Sequence[MemoryController],
+                      interval_s: float = 0.256,
+                      temperature_c: float = 45.0,
+                      rounds: int = 2) -> RetentionProfile:
+    """Screen every row at a relaxed refresh interval.
+
+    Args:
+        controllers: one per chip.
+        interval_s: the relaxed interval to qualify rows for (RAIDR
+            and DC-REF use 256 ms).
+        temperature_c: operating temperature during the screen.
+        rounds: repetitions of the solid-pattern pair (randomly-timed
+            failures like VRT need more than one exposure to surface).
+
+    Returns:
+        A :class:`RetentionProfile`. Chip conditions are restored to
+        the test defaults afterwards.
+    """
+    if not controllers:
+        raise ValueError("need at least one controller")
+    weak: Dict[Tuple[int, int], np.ndarray] = {}
+    tests = 0
+    for chip_idx, ctrl in enumerate(controllers):
+        chip = ctrl.chip
+        chip.set_conditions(temperature_c=temperature_c,
+                            refresh_interval_s=interval_s)
+        for bank_idx in range(chip.n_banks):
+            weak[(chip_idx, bank_idx)] = np.zeros(chip.n_rows, dtype=bool)
+        try:
+            for _ in range(rounds):
+                for value in (0, 1):
+                    per_bank = ctrl.test_pattern(solid(ctrl.row_bits,
+                                                       value))
+                    tests += 1
+                    for bank_idx, (rows, _cols) in enumerate(per_bank):
+                        weak[(chip_idx, bank_idx)][rows] = True
+        finally:
+            chip.set_conditions()
+    return RetentionProfile(interval_s=interval_s, weak_rows=weak,
+                            tests=tests)

@@ -1,0 +1,46 @@
+"""RAIDR-style retention binning (the paper's refresh baseline [46]).
+
+RAIDR profiles which rows contain weak cells and refreshes those rows
+at the full 64 ms rate, everything else at 256 ms - regardless of what
+the rows currently hold. DC-REF starts from the same profile but adds
+the content check. This module derives the row bins, either
+statistically (fleet fraction) or from an actual PARBOR campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+import numpy as np
+
+__all__ = ["retention_bins", "bins_from_failures", "weak_row_fraction"]
+
+Coord = Tuple[int, int, int, int]
+
+
+def retention_bins(n_rows: int, weak_fraction: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Random weak-row mask at the profiled fleet fraction (16.4%)."""
+    if not 0.0 <= weak_fraction <= 1.0:
+        raise ValueError("weak_fraction must be a probability")
+    return rng.random(n_rows) < weak_fraction
+
+
+def bins_from_failures(detected: Set[Coord], n_chips: int, n_banks: int,
+                       n_rows: int) -> np.ndarray:
+    """Weak-row mask derived from PARBOR's detected failures.
+
+    Returns a bool array of shape ``(n_chips, n_banks, n_rows)``: True
+    where the row holds at least one data-dependent failure and must
+    stay at the fast refresh rate unless DC-REF clears it.
+    """
+    mask = np.zeros((n_chips, n_banks, n_rows), dtype=bool)
+    for chip, bank, row, _col in detected:
+        if chip < n_chips and bank < n_banks and row < n_rows:
+            mask[chip, bank, row] = True
+    return mask
+
+
+def weak_row_fraction(mask: np.ndarray) -> float:
+    """Fraction of rows binned weak (RAIDR's high-rate fraction)."""
+    return float(mask.mean()) if mask.size else 0.0

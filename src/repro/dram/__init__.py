@@ -1,0 +1,34 @@
+"""DRAM device substrate: scrambled-address chips with coupling faults.
+
+This subpackage is the stand-in for the paper's 144 real DRAM chips:
+behavioural models of banks, chips, and modules whose observable -
+read-back mismatches after a retention interval - matches what a
+system-level test sees on hardware. See DESIGN.md Section 1 for the
+substitution argument.
+"""
+
+from .bank import Bank
+from .cells import NO_NEIGHBOUR, CoupledCellPopulation, CouplingSpec
+from .chip import DramChip
+from .controller import MemoryController, TestStats
+from .faults import FaultSpec, RandomFaultModel
+from .mapping import (AddressMapping, boustrophedon_path, find_step_path,
+                      identity_mapping, pair_block_path,
+                      path_step_magnitudes, residue_interleaved_path)
+from .module import DramModule
+from .remap import apply_column_remapping
+from .timing import DDR3_1600, DramTiming, t_rfc_ns
+from .vendors import (DEFAULT_ROW_BITS, VENDORS, VendorProfile,
+                      custom_vendor, make_module, make_test_fleet, vendor)
+
+__all__ = [
+    "AddressMapping", "Bank", "CoupledCellPopulation", "CouplingSpec",
+    "DDR3_1600", "DEFAULT_ROW_BITS", "DramChip", "DramModule", "DramTiming",
+    "FaultSpec", "MemoryController", "NO_NEIGHBOUR", "RandomFaultModel",
+    "TestStats", "VENDORS", "VendorProfile", "apply_column_remapping",
+    "boustrophedon_path", "custom_vendor", "find_step_path",
+    "identity_mapping",
+    "make_module", "make_test_fleet", "pair_block_path",
+    "path_step_magnitudes", "residue_interleaved_path", "t_rfc_ns",
+    "vendor",
+]

@@ -1,0 +1,152 @@
+"""A DRAM bank: the unit of storage and failure evaluation.
+
+The bank stores its rows as a 2-D uint8 array in *charge domain,
+physical column order*. That representation makes the data-dependent
+failure model a direct vectorised evaluation (physical neighbours are
+adjacent array columns; charged == 1 regardless of true/anti cell
+polarity) while the system-facing interface handles both the vendor
+address scrambling and the true/anti-cell data inversion.
+
+True vs. anti cells: a *true* cell stores data '1' as charge, an *anti*
+cell stores data '0' as charge (paper footnote 3). We model polarity
+per row - sense-amplifier orientation alternates between rows - via an
+``anti`` row mask applied at the read/write boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .cells import CoupledCellPopulation
+from .faults import RandomFaultModel
+from .mapping import AddressMapping
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """A 2-D array of DRAM cells with coupling and fault populations.
+
+    Args:
+        mapping: system<->physical address mapping for this bank.
+        n_rows: number of rows.
+        coupled: data-dependent failure population.
+        faults: random (non-data-dependent) failure injector.
+        anti_rows: bool array per row; True rows hold anti cells. The
+            default alternates polarity every row.
+        rng: randomness source for per-exposure failure coin flips.
+    """
+
+    def __init__(self, mapping: AddressMapping, n_rows: int,
+                 coupled: CoupledCellPopulation,
+                 faults: RandomFaultModel,
+                 rng: np.random.Generator,
+                 anti_rows: Optional[np.ndarray] = None) -> None:
+        if n_rows < 1:
+            raise ValueError("a bank needs at least one row")
+        self.mapping = mapping
+        self.n_rows = n_rows
+        self.row_bits = mapping.row_bits
+        self.coupled = coupled
+        self.faults = faults
+        self._rng = rng
+        if anti_rows is None:
+            anti_rows = (np.arange(n_rows) % 2).astype(bool)
+        if len(anti_rows) != n_rows:
+            raise ValueError("anti_rows length must equal n_rows")
+        self.anti_rows = np.asarray(anti_rows, dtype=bool)
+        #: retention stress of retention reads (1.0 = 45 degC / 4 s).
+        self.stress = 1.0
+        #: charge state, physical order: shape (n_rows, row_bits).
+        self.charge = np.zeros((n_rows, self.row_bits), dtype=np.uint8)
+
+    # -- system-facing I/O --------------------------------------------
+
+    def _to_charge(self, rows: np.ndarray, data_sys: np.ndarray
+                   ) -> np.ndarray:
+        """Scramble + polarity-invert system-order data rows."""
+        phys = data_sys[..., self.mapping.phys_to_sys()]
+        anti = self.anti_rows[rows]
+        return phys ^ np.asarray(anti, dtype=np.uint8)[..., None]
+
+    def write_row(self, row: int, data_sys: np.ndarray) -> None:
+        """Write one row given system-order data bits (0/1)."""
+        self._check_row(row)
+        data_sys = np.asarray(data_sys, dtype=np.uint8)
+        if data_sys.shape != (self.row_bits,):
+            raise ValueError(
+                f"row data must have shape ({self.row_bits},)")
+        self.charge[row] = self._to_charge(np.asarray([row]),
+                                           data_sys[None, :])[0]
+
+    def write_rows(self, rows: np.ndarray, data_sys: np.ndarray) -> None:
+        """Write several rows at once (vectorised)."""
+        rows = np.asarray(rows)
+        data_sys = np.asarray(data_sys, dtype=np.uint8)
+        if data_sys.ndim == 1:
+            data_sys = np.broadcast_to(data_sys, (len(rows), self.row_bits))
+        self.charge[rows] = self._to_charge(rows, data_sys)
+
+    def write_all(self, data_sys: np.ndarray) -> None:
+        """Write every row with the same (or per-row) system-order data."""
+        self.write_rows(np.arange(self.n_rows), data_sys)
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Immediate (non-retention) read of one row, system order."""
+        self._check_row(row)
+        data_phys = self.charge[row] ^ np.uint8(self.anti_rows[row])
+        return data_phys[self.mapping.sys_to_phys()]
+
+    # -- retention reads ------------------------------------------------
+
+    def retention_failures(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate one retention wait; return failing coordinates.
+
+        Returns:
+            ``(rows, sys_cols)`` of all cells whose read-back after the
+            retention interval mismatches what was written - the union
+            of data-dependent flips and random-fault flips, exactly the
+            observable a system-level test sees.
+        """
+        fail = self.coupled.evaluate_failures(self.charge, self._rng,
+                                      stress=self.stress)
+        rows = self.coupled.row[fail]
+        phys = self.coupled.phys[fail]
+        f_rows, f_phys = self.faults.retention_flips(self.charge,
+                                             stress=self.stress)
+        rows = np.concatenate([rows, f_rows])
+        phys = np.concatenate([phys, f_phys])
+        sys_cols = self.mapping.phys_to_sys()[phys]
+        return rows, sys_cols
+
+    def retention_read_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Retention read restricted to ``rows``; system-order data.
+
+        Used by the recursive test, which only ever inspects the rows
+        that host its victim cells. Random-fault injection still runs
+        bank-wide (the fault model is stateful) but only flips landing
+        in ``rows`` are visible, as in a real partial read.
+        """
+        rows = np.asarray(rows)
+        f_rows, f_cols = self.retention_failures()
+        data_phys = self.charge[rows] ^ self.anti_rows[rows, None].astype(
+            np.uint8)
+        data_sys = data_phys[:, self.mapping.sys_to_phys()]
+        row_pos = {int(r): i for i, r in enumerate(rows)}
+        for r, c in zip(f_rows, f_cols):
+            i = row_pos.get(int(r))
+            if i is not None:
+                data_sys[i, c] ^= 1
+        return data_sys
+
+    def retention_read_all(self) -> np.ndarray:
+        """Full-bank retention read, system order (observed data)."""
+        return self.retention_read_rows(np.arange(self.n_rows))
+
+    # -- helpers ----------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.n_rows:
+            raise ValueError(f"row {row} out of range [0, {self.n_rows})")

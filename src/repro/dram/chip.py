@@ -1,0 +1,110 @@
+"""A DRAM chip: a set of banks sharing one vendor address mapping."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .bank import Bank
+from .cells import CoupledCellPopulation, CouplingSpec
+from .faults import FaultSpec, RandomFaultModel
+from .mapping import AddressMapping
+from .remap import apply_column_remapping
+
+__all__ = ["DramChip"]
+
+
+class DramChip:
+    """A chip with ``n_banks`` banks of ``n_rows`` x ``row_bits`` cells.
+
+    All banks of a chip share the same address mapping (the scrambler
+    is a property of the chip design) but carry independent coupled
+    cell and fault populations (process variation is random).
+
+    Args:
+        mapping: the chip's system<->physical address mapping.
+        n_rows: rows per bank.
+        n_banks: number of banks.
+        coupling_spec: per-bank data-dependent failure population spec.
+        fault_spec: per-bank random-failure spec.
+        remap_fraction: fraction of coupled victims rewired to spare
+            columns (irregular neighbourhoods).
+        seed: RNG seed; the chip derives independent per-bank streams.
+        chip_id: identifier used in reports.
+    """
+
+    def __init__(self, mapping: AddressMapping, n_rows: int,
+                 coupling_spec: CouplingSpec, fault_spec: FaultSpec,
+                 n_banks: int = 1, remap_fraction: float = 0.0,
+                 seed: int = 0, chip_id: str = "chip0") -> None:
+        if n_banks < 1:
+            raise ValueError("a chip needs at least one bank")
+        self.mapping = mapping
+        self.n_rows = n_rows
+        self.row_bits = mapping.row_bits
+        self.n_banks = n_banks
+        self.chip_id = chip_id
+        self.coupling_spec = coupling_spec
+        self.fault_spec = fault_spec
+
+        root = np.random.default_rng(seed)
+        self.banks: List[Bank] = []
+        for b in range(n_banks):
+            rng = np.random.default_rng(root.integers(0, 2**63))
+            pop = CoupledCellPopulation.generate(
+                coupling_spec, n_rows=n_rows, row_bits=self.row_bits,
+                tile_bits=mapping.tile_bits, rng=rng, mapping=mapping)
+            apply_column_remapping(pop, mapping, remap_fraction, rng)
+            faults = RandomFaultModel(fault_spec, n_rows=n_rows,
+                                      row_bits=self.row_bits, rng=rng)
+            self.banks.append(Bank(mapping=mapping, n_rows=n_rows,
+                                   coupled=pop, faults=faults, rng=rng))
+        self.temperature_c = 45.0
+        self.refresh_interval_s = 4.0
+
+    def set_conditions(self, temperature_c: float = 45.0,
+                       refresh_interval_s: float = 4.0) -> float:
+        """Set the operating conditions for retention reads.
+
+        DRAM retention roughly halves per +10 degC (paper Section 6),
+        and a longer wait depletes more charge, so the normalised
+        retention stress is ``2^((T - 45)/10) * interval / 4 s`` with
+        1.0 at the paper's test condition (45 degC, 4 s). Returns the
+        stress applied to every bank.
+        """
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh interval must be positive")
+        stress = (2.0 ** ((temperature_c - 45.0) / 10.0)
+                  * refresh_interval_s / 4.0)
+        for bank in self.banks:
+            bank.stress = stress
+        self.temperature_c = temperature_c
+        self.refresh_interval_s = refresh_interval_s
+        return stress
+
+    @property
+    def n_cells(self) -> int:
+        """Total cell count across all banks."""
+        return self.n_banks * self.n_rows * self.row_bits
+
+    def bank(self, index: int) -> Bank:
+        if not 0 <= index < self.n_banks:
+            raise ValueError(f"bank {index} out of range")
+        return self.banks[index]
+
+    def ground_truth_distances(self) -> List[int]:
+        """The scrambler's true neighbour distance set (for validation)."""
+        return self.mapping.neighbour_distance_set()
+
+    def coupled_cell_count(self, strong: Optional[bool] = None) -> int:
+        """Number of coupled victims, optionally by coupling class."""
+        total = 0
+        for bank in self.banks:
+            if strong is None:
+                total += len(bank.coupled)
+            elif strong:
+                total += int(bank.coupled.strong_mask.sum())
+            else:
+                total += int(bank.coupled.weak_mask.sum())
+        return total

@@ -1,0 +1,147 @@
+"""The system-level memory controller interface PARBOR drives.
+
+In the paper, PARBOR runs on a host PC and talks to DRAM through an
+FPGA memory controller: it can only write data at *system* addresses,
+wait out a refresh interval, and read the data back. This class is
+that interface, plus the bookkeeping a test campaign needs (test
+counts and estimated wall-clock time, used to report the paper's
+appendix numbers).
+
+One *test* = write a pattern, wait one retention interval, read back
+and compare (paper Section 2.3, "Manufacturing Tests"). Rows tested in
+different banks/rows simultaneously still count as one test - that
+parallelism is PARBOR's second key idea.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .chip import DramChip
+from .timing import DDR3_1600, DramTiming
+
+__all__ = ["MemoryController", "TestStats"]
+
+
+@dataclass
+class TestStats:
+    """Counters for a test campaign against one chip."""
+
+    tests: int = 0
+    rows_written: int = 0
+    rows_read: int = 0
+    retention_waits: int = 0
+    _timing: DramTiming = field(default_factory=lambda: DDR3_1600)
+
+    def estimated_time_ns(self, row_bytes: int = 1024) -> float:
+        """Rough wall-clock estimate of the campaign.
+
+        Each retention wait costs one refresh interval; each row write
+        or read costs one full-row access (appendix arithmetic).
+        """
+        t_row = self._timing.full_row_access_ns(row_bytes=row_bytes)
+        wait_ns = (self.retention_waits
+                   * self._timing.refresh_interval_ms * 1e6)
+        return wait_ns + (self.rows_written + self.rows_read) * t_row
+
+
+class MemoryController:
+    """System-address access to one DRAM chip, with test accounting."""
+
+    def __init__(self, chip: DramChip,
+                 timing: Optional[DramTiming] = None) -> None:
+        self.chip = chip
+        self.timing = timing or DDR3_1600
+        self.stats = TestStats(_timing=self.timing)
+
+    @property
+    def row_bits(self) -> int:
+        return self.chip.row_bits
+
+    @property
+    def n_rows(self) -> int:
+        return self.chip.n_rows
+
+    @property
+    def n_banks(self) -> int:
+        return self.chip.n_banks
+
+    # -- raw access ------------------------------------------------------
+
+    def write_row(self, bank: int, row: int, data_sys: np.ndarray) -> None:
+        """Write one row (system-order bits)."""
+        self.chip.bank(bank).write_row(row, data_sys)
+        self.stats.rows_written += 1
+
+    def write_rows(self, bank: int, rows: np.ndarray,
+                   data_sys: np.ndarray) -> None:
+        """Write several rows; ``data_sys`` broadcasts if 1-D."""
+        self.chip.bank(bank).write_rows(rows, data_sys)
+        self.stats.rows_written += len(rows)
+
+    def fill(self, data_sys: np.ndarray) -> None:
+        """Write every row of every bank with the same pattern."""
+        for bank in self.chip.banks:
+            bank.write_all(data_sys)
+            self.stats.rows_written += bank.n_rows
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Immediate read (no retention wait, no failures)."""
+        self.stats.rows_read += 1
+        return self.chip.bank(bank).read_row(row)
+
+    # -- tests -------------------------------------------------------------
+
+    def test_rows(self, bank: int, rows: np.ndarray,
+                  data_sys: np.ndarray) -> np.ndarray:
+        """One test over specific rows of one bank.
+
+        Writes ``data_sys`` (2-D per-row, or 1-D broadcast) to ``rows``,
+        waits one retention interval, and returns the observed data.
+        Counts as one test regardless of how many rows run in parallel.
+        """
+        rows = np.asarray(rows)
+        b = self.chip.bank(bank)
+        b.write_rows(rows, data_sys)
+        self.stats.rows_written += len(rows)
+        self.stats.retention_waits += 1
+        self.stats.tests += 1
+        self.stats.rows_read += len(rows)
+        return b.retention_read_rows(rows)
+
+    def test_pattern(self, data_sys: np.ndarray
+                     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One whole-chip test with a single row pattern.
+
+        Writes the pattern to every row of every bank, waits one
+        retention interval, and returns per-bank ``(rows, sys_cols)``
+        mismatch coordinates. This is the primitive both PARBOR's
+        neighbour-aware sweep and the random-pattern baseline use, so
+        their budgets are directly comparable.
+        """
+        data_sys = np.asarray(data_sys, dtype=np.uint8)
+        failures: List[Tuple[np.ndarray, np.ndarray]] = []
+        for bank in self.chip.banks:
+            bank.write_all(data_sys)
+            self.stats.rows_written += bank.n_rows
+            failures.append(bank.retention_failures())
+            self.stats.rows_read += bank.n_rows
+        self.stats.retention_waits += 1
+        self.stats.tests += 1
+        return failures
+
+    def test_pattern_per_row(self, data_sys_rows: np.ndarray
+                             ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One whole-chip test with per-row patterns (2-D array)."""
+        failures: List[Tuple[np.ndarray, np.ndarray]] = []
+        for bank in self.chip.banks:
+            bank.write_all(data_sys_rows)
+            self.stats.rows_written += bank.n_rows
+            failures.append(bank.retention_failures())
+            self.stats.rows_read += bank.n_rows
+        self.stats.retention_waits += 1
+        self.stats.tests += 1
+        return failures

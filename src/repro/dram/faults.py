@@ -1,0 +1,164 @@
+"""Non-data-dependent failure injectors.
+
+PARBOR must distinguish data-dependent failures from failures with
+other root causes (paper Section 5.2.1/5.2.4): soft errors, variable
+retention time (VRT) cells, and marginal cells that barely hold their
+charge across a refresh interval. These populations are what make the
+ranking/filtering stage non-trivial, and they produce the infrequent
+noise distances in Figures 14-15.
+
+All injectors act on a bank's *charge* array at retention-read time and
+return flip coordinates; they are polarity-symmetric except where the
+underlying physics is not (VRT/marginal cells lose charge, so only
+charged cells fail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["FaultSpec", "RandomFaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and population sizes for non-data-dependent failures.
+
+    Attributes:
+        soft_error_rate: probability that any given cell suffers a
+            random transient flip during one retention read of its
+            bank. Applied with a Poisson draw over the bank.
+        n_vrt_cells: number of VRT cells in the bank. Each VRT cell is
+            a two-state random telegraph process; in the leaky state a
+            charged cell fails the retention read.
+        vrt_toggle_prob: per-read probability that a VRT cell switches
+            between its retention states.
+        vrt_leaky_start_fraction: fraction of VRT cells that begin in
+            the leaky state.
+        n_marginal_cells: number of marginal cells; each fails a
+            retention read (while charged) with ``marginal_fail_prob``.
+        marginal_fail_prob: per-read failure probability of a marginal
+            cell.
+        vrt_marginal_threshold_range: log-uniform range of the stress
+            at which a VRT or marginal cell's weakness manifests.
+            These cells are marginal *around the elevated test
+            condition* (stress 1.0), so most are quiet at operational
+            refresh intervals - but a small tail stays active there,
+            which is AVATAR's motivation (paper ref [62]).
+        n_weak_cells: number of content-independent *weak cells* - low
+            retention cells that fail (while charged) whenever the
+            retention stress reaches their threshold, regardless of
+            neighbour content (paper Section 5.2.1, its ref [47]).
+            These are what RAIDR's retention profiling bins rows by.
+        weak_threshold_range: log-uniform range of the weak cells'
+            failure stress (1.0 = the 45 degC / 4 s test condition;
+            a 256 ms operational interval is stress 0.064).
+    """
+
+    soft_error_rate: float = 1e-8
+    n_vrt_cells: int = 0
+    vrt_toggle_prob: float = 0.05
+    vrt_leaky_start_fraction: float = 0.5
+    n_marginal_cells: int = 0
+    marginal_fail_prob: float = 0.5
+    n_weak_cells: int = 0
+    weak_threshold_range: tuple = (0.01, 1.0)
+    vrt_marginal_threshold_range: tuple = (0.05, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.soft_error_rate < 0:
+            raise ValueError("soft_error_rate must be non-negative")
+        if not 0 <= self.marginal_fail_prob <= 1:
+            raise ValueError("marginal_fail_prob must be a probability")
+        if not 0 <= self.vrt_toggle_prob <= 1:
+            raise ValueError("vrt_toggle_prob must be a probability")
+        lo, hi = self.weak_threshold_range
+        if not 0 < lo <= hi:
+            raise ValueError("weak_threshold_range must be positive and "
+                             "ordered")
+
+
+class RandomFaultModel:
+    """Stateful injector of soft errors, VRT, and marginal failures."""
+
+    def __init__(self, spec: FaultSpec, n_rows: int, row_bits: int,
+                 rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.n_rows = n_rows
+        self.row_bits = row_bits
+        self._rng = rng
+        self.vrt_row = rng.integers(0, n_rows, size=spec.n_vrt_cells)
+        self.vrt_phys = rng.integers(0, row_bits, size=spec.n_vrt_cells)
+        self.vrt_leaky = (rng.random(spec.n_vrt_cells)
+                          < spec.vrt_leaky_start_fraction)
+        self.marginal_row = rng.integers(0, n_rows,
+                                         size=spec.n_marginal_cells)
+        self.marginal_phys = rng.integers(0, row_bits,
+                                          size=spec.n_marginal_cells)
+        v_lo, v_hi = spec.vrt_marginal_threshold_range
+        self.vrt_threshold = np.exp(rng.uniform(
+            np.log(v_lo), np.log(v_hi), size=spec.n_vrt_cells))
+        self.marginal_threshold = np.exp(rng.uniform(
+            np.log(v_lo), np.log(v_hi), size=spec.n_marginal_cells))
+        self.weak_row = rng.integers(0, n_rows, size=spec.n_weak_cells)
+        self.weak_phys = rng.integers(0, row_bits,
+                                      size=spec.n_weak_cells)
+        lo, hi = spec.weak_threshold_range
+        self.weak_threshold = np.exp(rng.uniform(np.log(lo), np.log(hi),
+                                                 size=spec.n_weak_cells))
+
+    def retention_flips(self, charge: np.ndarray, stress: float = 1.0
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Random flips for one retention read of the whole bank.
+
+        Args:
+            charge: ``(n_rows, row_bits)`` physical-order charge array.
+            stress: retention stress of the read (temperature and
+                interval, 1.0 = the test condition); gates the weak
+                cell population.
+
+        Returns:
+            ``(rows, cols)`` coordinate arrays of cells whose read-out
+            is corrupted.
+        """
+        rng = self._rng
+        rows_list = []
+        cols_list = []
+
+        if len(self.weak_row):
+            hit = ((self.weak_threshold <= stress)
+                   & (charge[self.weak_row, self.weak_phys] == 1))
+            rows_list.append(self.weak_row[hit])
+            cols_list.append(self.weak_phys[hit])
+
+        n_cells = self.n_rows * self.row_bits
+        n_soft = rng.poisson(self.spec.soft_error_rate * n_cells)
+        if n_soft:
+            flat = rng.integers(0, n_cells, size=n_soft)
+            rows_list.append(flat // self.row_bits)
+            cols_list.append(flat % self.row_bits)
+
+        if len(self.vrt_row):
+            toggle = rng.random(len(self.vrt_row)) < self.spec.vrt_toggle_prob
+            self.vrt_leaky = self.vrt_leaky ^ toggle
+            hit = (self.vrt_leaky & (self.vrt_threshold <= stress)
+                   & (charge[self.vrt_row, self.vrt_phys] == 1))
+            rows_list.append(self.vrt_row[hit])
+            cols_list.append(self.vrt_phys[hit])
+
+        if len(self.marginal_row):
+            coin = rng.random(len(self.marginal_row))
+            hit = ((coin < self.spec.marginal_fail_prob)
+                   & (self.marginal_threshold <= stress)
+                   & (charge[self.marginal_row, self.marginal_phys] == 1))
+            rows_list.append(self.marginal_row[hit])
+            cols_list.append(self.marginal_phys[hit])
+
+        if not rows_list:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return (np.concatenate(rows_list).astype(np.int64),
+                np.concatenate(cols_list).astype(np.int64))

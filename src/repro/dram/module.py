@@ -1,0 +1,40 @@
+"""A DRAM module: eight chips from one vendor, as in the paper's DIMMs."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .chip import DramChip
+
+__all__ = ["DramModule"]
+
+
+class DramModule:
+    """A module aggregating several chips of the same vendor design.
+
+    The paper tests 18 two-GB modules of 8 chips each. A module's chips
+    share the address mapping but differ in their (random) failure
+    populations, so module-level failure counts are sums over chips.
+    """
+
+    def __init__(self, module_id: str, chips: List[DramChip]) -> None:
+        if not chips:
+            raise ValueError("a module needs at least one chip")
+        row_bits = chips[0].row_bits
+        if any(c.row_bits != row_bits for c in chips):
+            raise ValueError("all chips in a module must share geometry")
+        self.module_id = module_id
+        self.chips = chips
+
+    def __iter__(self) -> Iterator[DramChip]:
+        return iter(self.chips)
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    @property
+    def n_cells(self) -> int:
+        return sum(chip.n_cells for chip in self.chips)
+
+    def coupled_cell_count(self) -> int:
+        return sum(chip.coupled_cell_count() for chip in self.chips)

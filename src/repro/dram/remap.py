@@ -1,0 +1,70 @@
+"""Redundant-column remapping (paper Section 7.3, "Limitation").
+
+Manufacturers repair faulty columns by steering them to spare columns
+at the edge of the cell array. A victim cell living in a remapped
+column keeps its system address but acquires *different* physical
+neighbours, so its neighbourhood no longer follows the regular vendor
+distance set. PARBOR's neighbour-aware patterns therefore miss these
+victims, while a random-pattern test occasionally hits their true
+aggressors - the source of the small "detected only by the random
+test" slice in Figure 13.
+
+We model a remapped victim by rewiring its two aggressor positions to
+pseudo-random columns inside the same tile (the spare region), leaving
+everything else about the cell unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cells import NO_NEIGHBOUR, CoupledCellPopulation
+from .mapping import AddressMapping
+
+__all__ = ["apply_column_remapping"]
+
+
+def apply_column_remapping(pop: CoupledCellPopulation,
+                           mapping: AddressMapping,
+                           fraction: float,
+                           rng: np.random.Generator) -> int:
+    """Rewire a fraction of the victim population into spare columns.
+
+    Args:
+        pop: coupled-cell population to modify in place.
+        mapping: the bank's address mapping (for tile geometry).
+        fraction: fraction of victims to remap.
+        rng: randomness source.
+
+    Returns:
+        The number of victims remapped.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n = len(pop)
+    if n == 0 or fraction == 0.0:
+        return 0
+    chosen = rng.random(n) < fraction
+    k = int(chosen.sum())
+    if k == 0:
+        return 0
+
+    tile = mapping.tile_bits
+    tile_base = (pop.phys[chosen] // tile) * tile
+    # Spare aggressors: two distinct pseudo-random columns in the same
+    # tile, neither equal to the victim itself.
+    left = tile_base + rng.integers(0, tile, size=k)
+    right = tile_base + rng.integers(0, tile, size=k)
+    victim = pop.phys[chosen]
+    left = np.where(left == victim, (left + 1 - tile_base) % tile
+                    + tile_base, left)
+    right = np.where((right == victim) | (right == left),
+                     (right + 2 - tile_base) % tile + tile_base, right)
+
+    pop.left_phys[chosen] = left
+    pop.right_phys[chosen] = right
+    # A relocated victim's analog environment changes entirely; model
+    # it as plain two-aggressor coupling at the new location.
+    pop.context[chosen] = NO_NEIGHBOUR
+    pop.remapped[chosen] = True
+    return k

@@ -1,0 +1,101 @@
+"""DDR3 timing parameters and the paper's appendix time arithmetic.
+
+The PARBOR paper (Appendix) derives all of its test-time numbers from
+DDR3-1600 timing: ``t_RCD = t_RP = 13.75 ns`` and ``t_CCD = 5 ns``
+(4 cycles at 1.25 ns/cycle of data-bus time per 64-byte transfer).
+This module captures those parameters once so the complexity analytics,
+the memory-system simulator, and the documentation all agree.
+
+All times are kept in nanoseconds as ``float`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nanoseconds per millisecond / second, for readability of derived math.
+NS_PER_MS = 1e6
+NS_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing parameters of a DDR3-style DRAM interface.
+
+    The defaults are DDR3-1600 values used throughout the paper's
+    appendix arithmetic.
+
+    Attributes:
+        t_rcd_ns: ACT-to-READ/WRITE delay (row activation).
+        t_rp_ns: PRE-to-ACT delay (precharge).
+        t_ccd_ns: CAS-to-CAS delay, i.e. time per 64-byte burst on the
+            data bus.
+        t_cas_ns: READ-to-data delay (column access latency).
+        refresh_interval_ms: nominal refresh window (tREFW), 64 ms for
+            DDR3 below 85 degC.
+        t_refi_ns: average periodic refresh command interval (tREFI).
+        clock_ghz: I/O clock in GHz (data rate is 2x for DDR).
+    """
+
+    t_rcd_ns: float = 13.75
+    t_rp_ns: float = 13.75
+    t_ccd_ns: float = 5.0
+    t_cas_ns: float = 13.75
+    refresh_interval_ms: float = 64.0
+    t_refi_ns: float = 7800.0
+    clock_ghz: float = 0.8
+
+    def row_cycle_ns(self, bursts: int) -> float:
+        """Time to open a row, transfer ``bursts`` 64-byte blocks, close it.
+
+        This is the paper's ``t_r = t_RCD + t_CCD * bursts + t_RP``.
+        """
+        if bursts < 1:
+            raise ValueError(f"bursts must be >= 1, got {bursts}")
+        return self.t_rcd_ns + self.t_ccd_ns * bursts + self.t_rp_ns
+
+    def two_block_access_ns(self) -> float:
+        """Time to read/write two cache blocks in one row activation.
+
+        Appendix: ``13.75 + 5 * 2 + 13.75 = 42.5 ns``.
+        """
+        return self.row_cycle_ns(bursts=2)
+
+    def full_row_access_ns(self, row_bytes: int = 8192,
+                           block_bytes: int = 64) -> float:
+        """Time to stream a whole row through the data bus.
+
+        Appendix: an 8 KB row is 128 blocks, ``13.75 + 5*128 + 13.75 =
+        667.5 ns``.
+        """
+        if row_bytes % block_bytes:
+            raise ValueError("row size must be a whole number of blocks")
+        return self.row_cycle_ns(bursts=row_bytes // block_bytes)
+
+
+#: Refresh command latency (tRFC) per chip density, in nanoseconds.
+#: 16/32 Gbit values follow the paper's footnote 6 estimates (590 ns /
+#: 1 us, extrapolated the same way RAIDR extrapolates); smaller
+#: densities are JEDEC DDR3 values.
+T_RFC_NS_BY_DENSITY_GBIT = {
+    1: 110.0,
+    2: 160.0,
+    4: 260.0,
+    8: 350.0,
+    16: 590.0,
+    32: 1000.0,
+}
+
+
+def t_rfc_ns(density_gbit: int) -> float:
+    """Refresh command latency for a chip of the given density."""
+    try:
+        return T_RFC_NS_BY_DENSITY_GBIT[density_gbit]
+    except KeyError:
+        known = sorted(T_RFC_NS_BY_DENSITY_GBIT)
+        raise ValueError(
+            f"unknown density {density_gbit} Gbit; known: {known}"
+        ) from None
+
+
+DDR3_1600 = DramTiming()

@@ -1,0 +1,92 @@
+"""Word-level ECC over a PARBOR failure map.
+
+SEC-DED (single-error-correct, double-error-detect) codes protect each
+64-bit word with 8 check bits (the (72, 64) Hamming code used by
+server DIMMs). A word containing one vulnerable cell is *correctable*;
+a word with two or more vulnerable cells can produce an uncorrectable
+(or worse, miscorrected) error if both fail together under the
+worst-case content. PARBOR's map makes this analysis possible at the
+system level - without it, the system cannot even count the vulnerable
+cells per word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+__all__ = ["SecDedCode", "EccReport", "ecc_coverage"]
+
+Coord = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class SecDedCode:
+    """An ECC geometry: data bits per word and check-bit overhead."""
+
+    data_bits: int = 64
+    check_bits: int = 8
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.check_bits / self.data_bits
+
+    def correctable(self, errors_in_word: int) -> bool:
+        return errors_in_word <= 1
+
+
+@dataclass
+class EccReport:
+    """ECC coverage of one failure map.
+
+    Attributes:
+        total_vulnerable_cells: failures in the map.
+        words_with_failures: distinct (row, word) groups affected.
+        correctable_words: words with exactly one vulnerable cell.
+        uncorrectable_words: words with two or more.
+        code: the ECC geometry analysed.
+    """
+
+    total_vulnerable_cells: int
+    words_with_failures: int
+    correctable_words: int
+    uncorrectable_words: int
+    code: SecDedCode
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of affected words the code fully protects."""
+        if self.words_with_failures == 0:
+            return 1.0
+        return self.correctable_words / self.words_with_failures
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.code.storage_overhead
+
+
+def ecc_coverage(detected: Iterable[Coord],
+                 code: SecDedCode = SecDedCode()) -> EccReport:
+    """Analyse a detected-failure map under a word-level ECC.
+
+    Args:
+        detected: (chip, bank, row, sys_col) failure coordinates, as
+            produced by a PARBOR campaign.
+        code: ECC geometry.
+
+    Returns:
+        An :class:`EccReport`.
+    """
+    words: Dict[Tuple[int, int, int, int], int] = {}
+    total = 0
+    for chip, bank, row, col in detected:
+        total += 1
+        key = (chip, bank, row, col // code.data_bits)
+        words[key] = words.get(key, 0) + 1
+
+    correctable = sum(1 for n in words.values() if code.correctable(n))
+    return EccReport(total_vulnerable_cells=total,
+                     words_with_failures=len(words),
+                     correctable_words=correctable,
+                     uncorrectable_words=len(words) - correctable,
+                     code=code)

@@ -1,0 +1,66 @@
+"""Row retirement over a PARBOR failure map.
+
+The bluntest mitigation: any row holding a vulnerable cell is removed
+from the usable address space (remapped to spare rows by the OS or
+memory controller). Coverage is total - no vulnerable cell is ever
+used - but the capacity cost is the fraction of rows retired, which
+PARBOR's map lets the system compute exactly instead of
+over-provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+__all__ = ["RetirementReport", "row_retirement"]
+
+Coord = Tuple[int, int, int, int]
+
+
+@dataclass
+class RetirementReport:
+    """Cost of retiring every row with a detected failure.
+
+    Attributes:
+        retired_rows: rows removed from service.
+        total_rows: rows in the analysed memory.
+        spare_rows: spare capacity available (0 = none modelled).
+    """
+
+    retired_rows: int
+    total_rows: int
+    spare_rows: int = 0
+
+    @property
+    def capacity_overhead(self) -> float:
+        """Fraction of usable capacity lost."""
+        if self.total_rows == 0:
+            return 0.0
+        uncovered = max(0, self.retired_rows - self.spare_rows)
+        return uncovered / self.total_rows
+
+    @property
+    def within_spares(self) -> bool:
+        return self.retired_rows <= self.spare_rows
+
+
+def row_retirement(detected: Iterable[Coord], n_chips: int,
+                   n_banks: int, n_rows: int,
+                   spare_rows: int = 0) -> RetirementReport:
+    """Compute the retirement cost of a failure map.
+
+    Args:
+        detected: failure coordinates from a PARBOR campaign.
+        n_chips / n_banks / n_rows: memory geometry.
+        spare_rows: spare rows available for transparent remapping.
+
+    Returns:
+        A :class:`RetirementReport`.
+    """
+    rows: Set[Tuple[int, int, int]] = set()
+    for chip, bank, row, _col in detected:
+        rows.add((chip, bank, row))
+    return RetirementReport(retired_rows=len(rows),
+                            total_rows=n_chips * n_banks * n_rows,
+                            spare_rows=spare_rows)

@@ -1,0 +1,29 @@
+"""Cycle-approximate system simulator for the DC-REF evaluation."""
+
+from .analytic import (blocking_fraction, expected_refresh_wait_cycles,
+                       refresh_reduction, throughput_speedup_bound)
+from .apps import SPEC_2006, AppProfile, app, app_names
+from .cpu import Core, CoreResult
+from .energy import EnergyBreakdown, EnergyParams, energy_of
+from .engine import SimResult, alone_ipc, simulate
+from .engine_detailed import alone_ipc_detailed, simulate_detailed
+from .memctrl import ChannelModel, DetailedTiming, Request
+from .metrics import harmonic_speedup, weighted_speedup
+from .params import DEFAULT_CONFIG_16G, DEFAULT_CONFIG_32G, SystemConfig
+from .refresh import (DcRefPolicy, RaidrRefresh, RefreshPolicy,
+                      UniformRefresh, make_policy)
+from .traces import Trace, generate_trace
+from .workloads import make_workloads, workload_profiles
+
+__all__ = [
+    "AppProfile", "blocking_fraction", "expected_refresh_wait_cycles",
+    "refresh_reduction", "throughput_speedup_bound", "Core", "CoreResult", "DEFAULT_CONFIG_16G",
+    "DEFAULT_CONFIG_32G", "DcRefPolicy", "RaidrRefresh", "RefreshPolicy",
+    "SPEC_2006", "SimResult", "SystemConfig", "Trace", "UniformRefresh",
+    "alone_ipc", "alone_ipc_detailed", "app", "app_names",
+    "EnergyBreakdown", "EnergyParams", "energy_of",
+    "ChannelModel", "DetailedTiming", "Request", "simulate_detailed",
+    "generate_trace", "harmonic_speedup",
+    "make_policy", "make_workloads", "simulate", "weighted_speedup",
+    "workload_profiles",
+]

@@ -1,0 +1,60 @@
+"""Closed-form refresh-overhead model (engine cross-validation).
+
+The event-driven engine and these formulas must agree on the
+first-order effects; the engine adds queueing and contention on top.
+Used by tests as an independent oracle and by users for quick what-if
+estimates without simulating.
+"""
+
+from __future__ import annotations
+
+from .params import SystemConfig
+from .refresh import RefreshPolicy
+
+__all__ = ["blocking_fraction", "throughput_speedup_bound",
+           "expected_refresh_wait_cycles", "refresh_reduction"]
+
+
+def blocking_fraction(policy: RefreshPolicy) -> float:
+    """Fraction of time a rank is unavailable due to refresh.
+
+    ``work_fraction * tRFC / tREFI`` - 12.8% for the 32 Gbit uniform
+    baseline (1 us per 7.8 us slot), scaled by the policy's row
+    workload.
+    """
+    cfg = policy.config
+    return (policy.work_fraction() * cfg.t_rfc_cycles
+            / cfg.t_refi_cycles)
+
+
+def throughput_speedup_bound(policy: RefreshPolicy,
+                             baseline: RefreshPolicy) -> float:
+    """Upper bound on fully-memory-bound speedup of ``policy``.
+
+    A perfectly bandwidth-limited workload speeds up by the ratio of
+    available bank time: ``(1 - blocked_policy)/(1 - blocked_base)``.
+    Latency effects can push real gains above this for latency-bound
+    cores, but our first-order core model stays at or below it.
+    """
+    return ((1.0 - blocking_fraction(policy))
+            / (1.0 - blocking_fraction(baseline)))
+
+
+def expected_refresh_wait_cycles(policy: RefreshPolicy) -> float:
+    """Mean added latency per uniformly-arriving request.
+
+    A request landing inside the blocked head of a tREFI slot waits
+    for the remainder of the block: expectation ``block^2 / (2 tREFI)``.
+    """
+    cfg = policy.config
+    block = policy.work_fraction() * cfg.t_rfc_cycles
+    return block * block / (2.0 * cfg.t_refi_cycles)
+
+
+def refresh_reduction(policy: RefreshPolicy,
+                      baseline: RefreshPolicy) -> float:
+    """Fractional row-refresh reduction of ``policy`` vs ``baseline``."""
+    base = baseline.row_refreshes_per_window()
+    if base <= 0:
+        raise ValueError("baseline performs no refreshes")
+    return 1.0 - policy.row_refreshes_per_window() / base

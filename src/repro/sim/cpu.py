@@ -1,0 +1,83 @@
+"""Trace-driven core model.
+
+Each core replays its application's request trace. Between requests it
+executes instructions at the application's base IPC; outstanding misses
+overlap up to the application's memory-level parallelism (bounded by
+the instruction window), which is the standard first-order model of an
+out-of-order core's memory behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .apps import AppProfile
+from .params import SystemConfig
+from .traces import Trace
+
+__all__ = ["Core", "CoreResult"]
+
+
+@dataclass
+class CoreResult:
+    """Final accounting for one core."""
+
+    app: str
+    instructions: int
+    cycles: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / max(1, self.cycles)
+
+
+class Core:
+    """Replay state for one core's trace."""
+
+    def __init__(self, core_id: int, profile: AppProfile, trace: Trace,
+                 config: SystemConfig) -> None:
+        self.core_id = core_id
+        self.profile = profile
+        self.trace = trace
+        self.mlp_window = max(1, min(int(round(profile.mlp)),
+                                     config.inst_window // 4))
+        self._next = 0
+        self._completions: List[int] = []
+        self._issue_clock = 0
+        self.finish_time: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self._next >= len(self.trace)
+
+    def next_issue_time(self) -> int:
+        """Earliest cycle the core can issue its next request.
+
+        The core must have executed the instruction gap since its last
+        issue, and have a free miss slot in its MLP window.
+        """
+        if self.done:
+            raise RuntimeError("trace exhausted")
+        i = self._next
+        gap_cycles = int(self.trace.inst_gaps[i]
+                         / self.profile.ipc_base)
+        t = self._issue_clock + gap_cycles
+        if len(self._completions) >= self.mlp_window:
+            t = max(t, self._completions[-self.mlp_window])
+        return t
+
+    def record_issue(self, issue_time: int, completion_time: int) -> None:
+        """Account one request issued at ``issue_time``."""
+        self._issue_clock = issue_time
+        self._completions.append(completion_time)
+        self._next += 1
+        if self.done:
+            self.finish_time = max(completion_time, issue_time)
+
+    def result(self) -> CoreResult:
+        if self.finish_time is None:
+            raise RuntimeError("core has not finished")
+        return CoreResult(app=self.profile.name,
+                          instructions=self.trace.total_instructions,
+                          cycles=self.finish_time)

@@ -1,0 +1,99 @@
+"""DDR3 energy model (IDD-style, simplified).
+
+The paper motivates DC-REF with performance *and* energy efficiency;
+this model turns the simulators' event counts into energy so the
+refresh-policy comparison can report both. Coefficients follow the
+usual DDR3 datasheet-derived estimates used in architecture studies;
+absolute joules are indicative, the *relative* policy comparison is
+the meaningful output.
+
+Components:
+
+* activation/precharge energy per row activation (ACT+PRE pair);
+* read/write energy per 64-byte burst;
+* refresh energy = refresh-active power x the time ranks spend
+  refreshing (``work_fraction x tRFC / tREFI`` per rank - the same
+  blocking fraction the performance model uses, so energy and
+  performance stay mutually consistent);
+* background power integrated over the simulated time.
+
+At the 32 Gbit baseline this lands refresh at roughly a third of DRAM
+energy - the "refresh wall" share projected by the refresh-scaling
+literature the paper builds on (its refs [46, 62]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import SimResult
+from .params import CPU_GHZ, SystemConfig
+
+__all__ = ["EnergyParams", "EnergyBreakdown", "energy_of"]
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy coefficients.
+
+    Attributes:
+        act_pre_nj: energy per row activation + precharge pair.
+        read_nj / write_nj: energy per 64-byte burst.
+        refresh_active_w: extra power drawn by a rank while a refresh
+            command executes (IDD5 minus standby).
+        background_w: standby power per rank.
+    """
+
+    act_pre_nj: float = 2.5
+    read_nj: float = 1.3
+    write_nj: float = 1.6
+    refresh_active_w: float = 1.2
+    background_w: float = 0.35
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per component over one simulated run (microjoules)."""
+
+    activation_uj: float
+    rw_uj: float
+    refresh_uj: float
+    background_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        return (self.activation_uj + self.rw_uj + self.refresh_uj
+                + self.background_uj)
+
+    @property
+    def refresh_share(self) -> float:
+        return self.refresh_uj / self.total_uj if self.total_uj else 0.0
+
+
+def energy_of(result: SimResult, config: SystemConfig,
+              params: EnergyParams = EnergyParams()) -> EnergyBreakdown:
+    """Energy of one simulation run.
+
+    Args:
+        result: the run; event counts (`n_activations`, `n_reads`,
+            `n_writes`) must be populated - the detailed engine tracks
+            them.
+        config: system configuration.
+        params: energy coefficients.
+
+    Returns:
+        An :class:`EnergyBreakdown` in microjoules.
+    """
+    cycles = max(c.cycles for c in result.cores)
+    seconds = cycles / (CPU_GHZ * 1e9)
+    n_ranks = config.n_channels * config.ranks_per_channel
+    blocking = (result.avg_work_fraction * config.t_rfc_cycles
+                / config.t_refi_cycles)
+
+    return EnergyBreakdown(
+        activation_uj=result.n_activations * params.act_pre_nj * 1e-3,
+        rw_uj=(result.n_reads * params.read_nj
+               + result.n_writes * params.write_nj) * 1e-3,
+        refresh_uj=(params.refresh_active_w * blocking * seconds
+                    * n_ranks) * 1e6,
+        background_uj=params.background_w * n_ranks * seconds * 1e6)

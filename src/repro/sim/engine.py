@@ -1,0 +1,181 @@
+"""Event-driven multicore + DDR3 memory-system simulation.
+
+The engine interleaves the cores' request streams in global time order
+(a heap keyed by each core's next issue time) and resolves every
+request against shared bank, channel-bus, and refresh state. Refresh
+blocks a rank for ``work_fraction * tRFC`` at the start of every tREFI
+slot - exactly the all-bank REF cadence for the baseline, the
+work-proportional equivalent for RAIDR and DC-REF.
+
+The absolute horizon is scaled down (a few hundred thousand
+instructions per core) because the refresh *overhead ratio*
+(tRFC/tREFI) that drives the Figure 16 comparison is horizon-invariant
+- see DESIGN.md Section 4.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .apps import AppProfile
+from .cpu import Core, CoreResult
+from .params import SystemConfig
+from .refresh import RefreshPolicy
+from .traces import generate_trace
+
+__all__ = ["SimResult", "simulate", "alone_ipc"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        cores: per-core accounting (instructions, cycles, IPC).
+        policy_name: refresh policy simulated.
+        avg_work_fraction: time-averaged refresh work vs. baseline.
+        avg_high_rate_fraction: time-averaged fraction of rows
+            refreshed at the fast 64 ms rate.
+        row_refreshes_per_window: average row refreshes per 64 ms
+            window (the Figure 16 refresh-reduction statistic).
+        total_requests: memory requests served.
+        n_activations / n_reads / n_writes: memory event counts for
+            the energy model (zero when the engine does not track
+            them; the detailed controller does).
+    """
+
+    cores: List[CoreResult]
+    policy_name: str
+    avg_work_fraction: float
+    avg_high_rate_fraction: float
+    row_refreshes_per_window: float
+    total_requests: int
+    n_activations: int = 0
+    n_reads: int = 0
+    n_writes: int = 0
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [c.ipc for c in self.cores]
+
+
+@dataclass
+class _MemoryState:
+    """Shared timing state of the memory system."""
+
+    config: SystemConfig
+    bank_free: np.ndarray = field(init=False)
+    bus_free: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.bank_free = np.zeros(self.config.n_banks_total,
+                                  dtype=np.int64)
+        self.bus_free = np.zeros(self.config.n_channels, dtype=np.int64)
+
+
+def _refresh_adjust(t: int, block_cycles: int, t_refi: int) -> int:
+    """Delay ``t`` out of the refresh-blocked head of its tREFI slot."""
+    offset = t % t_refi
+    if offset < block_cycles:
+        return t - offset + block_cycles
+    return t
+
+
+def simulate(profiles: Sequence[AppProfile], policy: RefreshPolicy,
+             config: SystemConfig, seed: int = 0,
+             n_instructions: int = 150_000) -> SimResult:
+    """Run one multi-programmed workload under one refresh policy.
+
+    Args:
+        profiles: one application per core.
+        policy: refresh policy instance (stateful; use a fresh one per
+            run).
+        config: system configuration.
+        seed: trace-generation seed (same seed => identical request
+            streams across policies, isolating the refresh effect).
+        n_instructions: instructions simulated per core.
+
+    Returns:
+        A :class:`SimResult`.
+    """
+    rng = np.random.default_rng(seed)
+    cores = []
+    for cid, profile in enumerate(profiles):
+        trace = generate_trace(profile, n_instructions, config,
+                               seed=int(rng.integers(0, 2**63)))
+        cores.append(Core(cid, profile, trace, config))
+
+    mem = _MemoryState(config)
+    t_refi = config.t_refi_cycles
+    t_rfc = config.t_rfc_cycles
+    t_bus = config.t_bus_cycles
+    n_channels = config.n_channels
+
+    heap = [(core.next_issue_time(), cid)
+            for cid, core in enumerate(cores) if not core.done]
+    heapq.heapify(heap)
+
+    work_samples: List[float] = [policy.work_fraction()]
+    hot_samples: List[float] = [policy.high_rate_fraction()]
+    refresh_samples: List[float] = [policy.row_refreshes_per_window()]
+    last_slot = -1
+    total_requests = 0
+
+    while heap:
+        t_issue, cid = heapq.heappop(heap)
+        core = cores[cid]
+        trace = core.trace
+        i = core._next
+
+        slot = t_issue // t_refi
+        if slot != last_slot:
+            work_samples.append(policy.work_fraction())
+            hot_samples.append(policy.high_rate_fraction())
+            refresh_samples.append(policy.row_refreshes_per_window())
+            last_slot = slot
+
+        bank = int(trace.banks[i])
+        channel = bank % n_channels
+        block = int(round(policy.work_fraction() * t_rfc))
+
+        start = _refresh_adjust(t_issue, block, t_refi)
+        start = max(start, int(mem.bank_free[bank]))
+        start = _refresh_adjust(start, block, t_refi)
+
+        access = (config.t_hit_cycles if trace.row_hits[i]
+                  else config.t_miss_cycles)
+        bus_start = max(start + access - t_bus,
+                        int(mem.bus_free[channel]))
+        completion = bus_start + t_bus
+        mem.bank_free[bank] = completion
+        mem.bus_free[channel] = completion
+
+        if trace.is_write[i]:
+            policy.on_write(bank, int(trace.rows[i]),
+                            float(trace.match_draws[i]))
+
+        core.record_issue(t_issue, completion)
+        total_requests += 1
+        if not core.done:
+            heapq.heappush(heap, (core.next_issue_time(), cid))
+
+    return SimResult(
+        cores=[core.result() for core in cores],
+        policy_name=policy.name,
+        avg_work_fraction=float(np.mean(work_samples)),
+        avg_high_rate_fraction=float(np.mean(hot_samples)),
+        row_refreshes_per_window=float(np.mean(refresh_samples)),
+        total_requests=total_requests)
+
+
+def alone_ipc(profile: AppProfile, policy: RefreshPolicy,
+              config: SystemConfig, seed: int = 0,
+              n_instructions: int = 150_000) -> float:
+    """IPC of one application running alone (weighted-speedup base)."""
+    result = simulate([profile], policy, config, seed=seed,
+                      n_instructions=n_instructions)
+    return result.cores[0].ipc

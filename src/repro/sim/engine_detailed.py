@@ -1,0 +1,192 @@
+"""Detailed simulation driver: cores against the command-level
+controller of :mod:`repro.sim.memctrl`.
+
+Compared to the first-order engine (:mod:`repro.sim.engine`), requests
+here queue at the controller and are scheduled FR-FCFS against bank
+state, the data bus, and per-rank staggered refresh windows - which
+exposes the queueing amplification of refresh blocking that the
+first-order model understates (see EXPERIMENTS.md, Figure 16).
+
+Event handling: the driver alternates between (a) issuing the earliest
+eligible core request and (b) draining every channel up to that issue
+horizon. A core may hold at most its MLP window of unfinished requests;
+a blocked core resumes at the completion that freed its slot. Channel
+drains are atomic up to the horizon, so an arrival discovered late
+queues behind already-served requests - a one-service-slot ordering
+approximation of a real pipelined controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .apps import AppProfile
+from .cpu import CoreResult
+from .engine import SimResult
+from .memctrl import ChannelModel, Request
+from .params import SystemConfig
+from .refresh import RefreshPolicy
+from .traces import Trace, generate_trace
+
+__all__ = ["simulate_detailed", "alone_ipc_detailed"]
+
+
+class _DetailedCore:
+    """Issue-side state of one core."""
+
+    def __init__(self, core_id: int, profile: AppProfile, trace: Trace,
+                 config: SystemConfig) -> None:
+        self.core_id = core_id
+        self.profile = profile
+        self.trace = trace
+        self.window = max(1, min(int(round(profile.mlp)),
+                                 config.inst_window // 4))
+        self.idx = 0
+        self.outstanding = 0
+        self.issue_clock = 0
+        self.blocked_until = 0
+        self.finish_time = 0
+
+    @property
+    def done_issuing(self) -> bool:
+        return self.idx >= len(self.trace)
+
+    @property
+    def done(self) -> bool:
+        return self.done_issuing and self.outstanding == 0
+
+    def next_issue_time(self) -> Optional[int]:
+        """When the core can issue next, or None while window-blocked."""
+        if self.done_issuing:
+            return None
+        if self.outstanding >= self.window:
+            return None
+        gap = int(self.trace.inst_gaps[self.idx] / self.profile.ipc_base)
+        return max(self.issue_clock + gap, self.blocked_until)
+
+    def issue(self, t: int) -> Request:
+        i = self.idx
+        request = Request(core=self.core_id,
+                          bank=int(self.trace.banks[i]),
+                          row=int(self.trace.rows[i]),
+                          is_write=bool(self.trace.is_write[i]),
+                          arrival=t,
+                          match_draw=float(self.trace.match_draws[i]))
+        self.idx += 1
+        self.outstanding += 1
+        self.issue_clock = t
+        return request
+
+    def complete(self, request: Request) -> None:
+        was_blocked = self.outstanding >= self.window
+        self.outstanding -= 1
+        if was_blocked:
+            self.blocked_until = max(self.blocked_until,
+                                     request.completion)
+        self.finish_time = max(self.finish_time, request.completion)
+
+    def result(self) -> CoreResult:
+        return CoreResult(app=self.profile.name,
+                          instructions=self.trace.total_instructions,
+                          cycles=max(1, self.finish_time))
+
+
+def simulate_detailed(profiles: Sequence[AppProfile],
+                      policy: RefreshPolicy, config: SystemConfig,
+                      seed: int = 0,
+                      n_instructions: int = 150_000) -> SimResult:
+    """Run one workload on the command-level memory model.
+
+    Same contract as :func:`repro.sim.engine.simulate`; identical
+    seeds produce identical request streams across both engines, so
+    the two can be compared request-for-request.
+    """
+    rng = np.random.default_rng(seed)
+    cores = []
+    for cid, profile in enumerate(profiles):
+        trace = generate_trace(profile, n_instructions, config,
+                               seed=int(rng.integers(0, 2**63)))
+        cores.append(_DetailedCore(cid, profile, trace, config))
+
+    channels = [ChannelModel(ch, config, policy)
+                for ch in range(config.n_channels)]
+    work_samples: List[float] = [policy.work_fraction()]
+    hot_samples: List[float] = [policy.high_rate_fraction()]
+    refresh_samples: List[float] = [policy.row_refreshes_per_window()]
+    last_slot = -1
+    total_requests = 0
+
+    def drain_all(until: int) -> int:
+        served = 0
+        for channel in channels:
+            for request in channel.drain(until):
+                cores[request.core].complete(request)
+                served += 1
+        return served
+
+    def serve_earliest() -> bool:
+        """Serve one request from the channel able to start first."""
+        best = None
+        best_start = None
+        for channel in channels:
+            start = channel.next_start()
+            if start is not None and (best_start is None
+                                      or start < best_start):
+                best_start = start
+                best = channel
+        if best is None:
+            return False
+        request = best.serve_one()
+        cores[request.core].complete(request)
+        return True
+
+    while not all(core.done for core in cores):
+        candidates = [(core.next_issue_time(), core) for core in cores]
+        candidates = [(t, core) for t, core in candidates
+                      if t is not None]
+        if not candidates:
+            # Every active core waits on a completion: serve the
+            # earliest startable request to unblock an issue slot.
+            if not serve_earliest():
+                raise RuntimeError("deadlock: blocked cores, idle "
+                                   "channels")
+            continue
+        t, core = min(candidates, key=lambda tc: (tc[0], tc[1].core_id))
+        # Serve everything that can start before this issue; the
+        # completions may unblock an earlier issuer, so re-evaluate.
+        if drain_all(t):
+            continue
+
+        slot = t // config.t_refi_cycles
+        if slot != last_slot:
+            work_samples.append(policy.work_fraction())
+            hot_samples.append(policy.high_rate_fraction())
+            refresh_samples.append(policy.row_refreshes_per_window())
+            last_slot = slot
+
+        request = core.issue(t)
+        channels[request.bank % config.n_channels].enqueue(request)
+        total_requests += 1
+
+    return SimResult(
+        cores=[core.result() for core in cores],
+        policy_name=policy.name,
+        avg_work_fraction=float(np.mean(work_samples)),
+        avg_high_rate_fraction=float(np.mean(hot_samples)),
+        row_refreshes_per_window=float(np.mean(refresh_samples)),
+        total_requests=total_requests,
+        n_activations=sum(ch.activations for ch in channels),
+        n_reads=sum(ch.reads for ch in channels),
+        n_writes=sum(ch.writes for ch in channels))
+
+
+def alone_ipc_detailed(profile: AppProfile, policy: RefreshPolicy,
+                       config: SystemConfig, seed: int = 0,
+                       n_instructions: int = 150_000) -> float:
+    """Alone-run IPC on the detailed model."""
+    result = simulate_detailed([profile], policy, config, seed=seed,
+                               n_instructions=n_instructions)
+    return result.cores[0].ipc

@@ -1,0 +1,267 @@
+"""Command-level DDR3 memory controller model.
+
+A more faithful alternative to the first-order service model embedded
+in :mod:`repro.sim.engine`: per-bank state machines (open row,
+precharge/activate/CAS timing), FR-FCFS scheduling (row hits first,
+then oldest), an open-page policy, a shared data bus per channel, and
+per-rank refresh windows staggered across ranks, with the refresh
+duration scaled by the active policy's row workload.
+
+The controller is driven as a discrete-event component: requests are
+enqueued with an arrival time, and :meth:`ChannelModel.drain` advances
+the channel until a target time, returning completions. Cycle counts
+use CPU cycles (3.2 GHz), like the rest of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .params import SystemConfig, ns_to_cycles
+from .refresh import RefreshPolicy
+
+__all__ = ["Request", "ChannelModel", "DetailedTiming"]
+
+
+@dataclass(frozen=True)
+class DetailedTiming:
+    """Bank/rank command timing in CPU cycles (DDR3-1600 defaults)."""
+
+    t_rcd: int = ns_to_cycles(13.75)   # ACT -> RD/WR
+    t_rp: int = ns_to_cycles(13.75)    # PRE -> ACT
+    t_cas: int = ns_to_cycles(13.75)   # RD -> first data
+    t_ras: int = ns_to_cycles(35.0)    # ACT -> PRE
+    t_wr: int = ns_to_cycles(15.0)     # end of write -> PRE
+    t_burst: int = ns_to_cycles(5.0)   # data bus per 64 B
+    t_rrd: int = ns_to_cycles(7.5)     # ACT -> ACT, same rank
+    t_faw: int = ns_to_cycles(30.0)    # four-activate window, per rank
+
+
+@dataclass
+class Request:
+    """One memory request in flight."""
+
+    core: int
+    bank: int           # global bank index
+    row: int
+    is_write: bool
+    arrival: int
+    match_draw: float = 1.0
+    completion: Optional[int] = None
+
+
+@dataclass
+class _BankState:
+    open_row: int = -1
+    ready_at: int = 0          # earliest next command
+    last_activate: int = 0
+
+
+class ChannelModel:
+    """One channel: queued requests, banks, bus, and rank refresh.
+
+    Args:
+        channel_id: which channel of the system this is.
+        config: system configuration.
+        policy: refresh policy (shared across channels).
+        timing: command timing; DDR3-1600 defaults.
+        page_policy: "open" keeps rows open for row-hit reuse (the
+            evaluation default); "closed" auto-precharges after every
+            access (no hits, but conflict-free misses).
+    """
+
+    def __init__(self, channel_id: int, config: SystemConfig,
+                 policy: RefreshPolicy,
+                 timing: Optional[DetailedTiming] = None,
+                 page_policy: str = "open") -> None:
+        if page_policy not in ("open", "closed"):
+            raise ValueError(f"unknown page policy {page_policy!r}")
+        self.channel_id = channel_id
+        self.config = config
+        self.policy = policy
+        self.timing = timing or DetailedTiming()
+        self.page_policy = page_policy
+        n_banks = config.ranks_per_channel * config.banks_per_rank
+        self.banks = [_BankState() for _ in range(n_banks)]
+        # Per-rank rolling window of the last four ACT times (tFAW)
+        # and the most recent ACT (tRRD).
+        self._rank_acts: List[List[int]] = [
+            [] for _ in range(config.ranks_per_channel)]
+        self.queue: List[Request] = []
+        self.bus_free = 0
+        self.served = 0
+        self.row_hits = 0
+        self.activations = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- refresh geometry ------------------------------------------------
+
+    def _refresh_window(self, rank: int, t: int) -> Tuple[int, int]:
+        """The refresh blocking window of ``rank`` covering slot of t.
+
+        Ranks are staggered by ``tREFI / ranks`` so the channel never
+        loses every rank at once (as real controllers schedule REF).
+        """
+        t_refi = self.config.t_refi_cycles
+        offset = (rank * t_refi) // self.config.ranks_per_channel
+        slot = (t - offset) // t_refi
+        start = slot * t_refi + offset
+        width = int(round(self.policy.work_fraction()
+                          * self.config.t_rfc_cycles))
+        return start, start + width
+
+    def _rank_ready(self, rank: int, t: int) -> int:
+        """Earliest time >= t when the rank is not refreshing."""
+        start, end = self._refresh_window(rank, t)
+        if start <= t < end:
+            return end
+        return t
+
+    def _rank_of(self, local_bank: int) -> int:
+        return local_bank // self.config.banks_per_rank
+
+    # -- scheduling --------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        if request.bank % self.config.n_channels != self.channel_id:
+            raise ValueError("request routed to the wrong channel")
+        self.queue.append(request)
+
+    def _local_bank(self, global_bank: int) -> int:
+        return global_bank // self.config.n_channels
+
+    def _earliest_start(self, request: Request) -> int:
+        lb = self._local_bank(request.bank)
+        bank = self.banks[lb]
+        start = max(request.arrival, bank.ready_at)
+        return self._rank_ready(self._rank_of(lb), start)
+
+    def _pick(self) -> Optional[int]:
+        """FR-FCFS: earliest start, then row hits, then the oldest."""
+        best: Optional[int] = None
+        best_key: Optional[Tuple[int, int, int]] = None
+        for i, req in enumerate(self.queue):
+            lb = self._local_bank(req.bank)
+            bank = self.banks[lb]
+            start = self._earliest_start(req)
+            hit = bank.open_row == req.row
+            key = (start, 0 if hit else 1, req.arrival)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = i
+        return best
+
+    def next_start(self) -> Optional[int]:
+        """Earliest time the channel could start serving, if anything."""
+        i = self._pick()
+        if i is None:
+            return None
+        return self._earliest_start(self.queue[i])
+
+    def _act_constrained(self, rank: int, t: int) -> int:
+        """Apply tRRD and tFAW to a proposed activation time."""
+        tm = self.timing
+        acts = self._rank_acts[rank]
+        if acts:
+            t = max(t, acts[-1] + tm.t_rrd)
+        if len(acts) >= 4:
+            t = max(t, acts[-4] + tm.t_faw)
+        return t
+
+    def _record_act(self, rank: int, t: int) -> None:
+        acts = self._rank_acts[rank]
+        acts.append(t)
+        if len(acts) > 4:
+            del acts[0]
+        self.activations += 1
+
+    def _access_timings(self, request: Request) -> Tuple[int, int]:
+        """(tRCD, tCAS) for this access, honouring latency policies.
+
+        A policy exposing ``fast_ok(bank, row)`` and ``access_scale``
+        (e.g. DC-LAT) gets the scaled timings on content-safe rows.
+        """
+        tm = self.timing
+        fast_ok = getattr(self.policy, "fast_ok", None)
+        if fast_ok is not None and fast_ok(request.bank, request.row):
+            scale = self.policy.access_scale
+            return (int(round(tm.t_rcd * scale)),
+                    int(round(tm.t_cas * scale)))
+        return tm.t_rcd, tm.t_cas
+
+    def _service(self, request: Request) -> int:
+        """Issue the commands for one request; return completion time."""
+        tm = self.timing
+        lb = self._local_bank(request.bank)
+        bank = self.banks[lb]
+        rank = self._rank_of(lb)
+        start = self._earliest_start(request)
+        t_rcd, t_cas = self._access_timings(request)
+
+        if bank.open_row == request.row:
+            self.row_hits += 1
+            data_at = start + t_cas
+        elif bank.open_row < 0:
+            act_at = self._act_constrained(
+                rank, self._rank_ready(rank, start))
+            data_at = act_at + t_rcd + t_cas
+            bank.last_activate = act_at
+            self._record_act(rank, act_at)
+        else:
+            # Precharge the open row first (open-page policy miss).
+            pre_at = max(start, bank.last_activate + tm.t_ras)
+            act_at = self._act_constrained(
+                rank, self._rank_ready(rank, pre_at + tm.t_rp))
+            data_at = act_at + t_rcd + t_cas
+            bank.last_activate = act_at
+            self._record_act(rank, act_at)
+        bank.open_row = request.row
+
+        bus_start = max(data_at, self.bus_free)
+        completion = bus_start + tm.t_burst
+        self.bus_free = completion
+        recovery = tm.t_wr if request.is_write else 0
+        if self.page_policy == "closed":
+            # Auto-precharge: the row closes and the precharge must
+            # respect tRAS before the bank accepts the next ACT.
+            bank.open_row = -1
+            pre_done = max(completion,
+                           bank.last_activate + tm.t_ras) + tm.t_rp
+            bank.ready_at = max(pre_done, completion + recovery)
+        else:
+            bank.ready_at = completion + recovery
+        return completion
+
+    def serve_one(self) -> Optional[Request]:
+        """Serve the single best queued request; None if queue empty."""
+        i = self._pick()
+        if i is None:
+            return None
+        request = self.queue.pop(i)
+        request.completion = self._service(request)
+        if request.is_write:
+            self.writes += 1
+            self.policy.on_write(request.bank, request.row,
+                                 request.match_draw)
+        else:
+            self.reads += 1
+        self.served += 1
+        return request
+
+    def drain(self, until: int) -> List[Request]:
+        """Serve queued requests whose start is <= ``until``."""
+        done: List[Request] = []
+        while True:
+            start = self.next_start()
+            if start is None or start > until:
+                break
+            done.append(self.serve_one())
+        return done
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.served if self.served else 0.0

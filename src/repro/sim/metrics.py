@@ -1,0 +1,28 @@
+"""Multiprogrammed performance metrics (paper refs [25, 72])."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["weighted_speedup", "harmonic_speedup"]
+
+
+def weighted_speedup(shared_ipcs: Sequence[float],
+                     alone_ipcs: Sequence[float]) -> float:
+    """Sum of per-core slowdown-normalised IPCs (Snavely & Tullsen)."""
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError("need one alone IPC per core")
+    if any(a <= 0 for a in alone_ipcs):
+        raise ValueError("alone IPCs must be positive")
+    return sum(s / a for s, a in zip(shared_ipcs, alone_ipcs))
+
+
+def harmonic_speedup(shared_ipcs: Sequence[float],
+                     alone_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of per-core speedups (fairness-oriented)."""
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError("need one alone IPC per core")
+    if any(s <= 0 for s in shared_ipcs):
+        raise ValueError("shared IPCs must be positive")
+    n = len(shared_ipcs)
+    return n / sum(a / s for s, a in zip(shared_ipcs, alone_ipcs))

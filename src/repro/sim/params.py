@@ -1,0 +1,93 @@
+"""Simulated system configuration (paper Table 2).
+
+Times are expressed in *CPU cycles* at the core clock (3.2 GHz), so
+1 ns = 3.2 cycles. DDR3-1600 bank timings are taken from the JEDEC
+values the paper uses; tRFC per density follows its footnote 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.timing import t_rfc_ns
+
+__all__ = ["SystemConfig", "DEFAULT_CONFIG_32G", "DEFAULT_CONFIG_16G"]
+
+CPU_GHZ = 3.2
+
+
+def ns_to_cycles(ns: float) -> int:
+    return int(round(ns * CPU_GHZ))
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Table 2 parameters plus derived cycle counts.
+
+    Attributes:
+        n_cores: cores in the simulated CMP.
+        issue_width: instructions per cycle when not stalled.
+        inst_window: reorder-buffer entries (bounds outstanding misses).
+        n_channels / ranks_per_channel / banks_per_rank: memory
+            topology (DDR3-1600, 2 channels, 2 ranks each).
+        rows_per_bank: rows the refresh machinery must cover per bank.
+        density_gbit: chip density; sets tRFC (590 ns at 16 Gbit, 1 us
+            at 32 Gbit).
+        t_refi_cycles: average interval between refresh slots.
+        t_rfc_cycles: all-bank refresh latency per slot.
+        t_hit_cycles / t_miss_cycles: row-buffer hit/miss service time.
+        t_bus_cycles: data-bus occupancy per 64-byte transfer.
+        weak_row_fraction: rows holding at least one retention-weak
+            cell (RAIDR profiles 16.4% from real chips).
+        refresh_interval_ms / relaxed_interval_ms: the two refresh
+            rates (64 ms / 256 ms bins).
+    """
+
+    n_cores: int = 8
+    issue_width: int = 3
+    inst_window: int = 128
+    n_channels: int = 2
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 8
+    rows_per_bank: int = 4096
+    density_gbit: int = 32
+    weak_row_fraction: float = 0.164
+    refresh_interval_ms: float = 64.0
+    relaxed_interval_ms: float = 256.0
+
+    @property
+    def t_refi_cycles(self) -> int:
+        return ns_to_cycles(7800.0)
+
+    @property
+    def t_rfc_cycles(self) -> int:
+        return ns_to_cycles(t_rfc_ns(self.density_gbit))
+
+    @property
+    def t_hit_cycles(self) -> int:
+        # CAS latency + burst: ~13.75 ns + 5 ns.
+        return ns_to_cycles(18.75)
+
+    @property
+    def t_miss_cycles(self) -> int:
+        # Precharge + activate + CAS + burst: ~13.75 * 3 + 5 ns.
+        return ns_to_cycles(46.25)
+
+    @property
+    def t_bus_cycles(self) -> int:
+        return ns_to_cycles(5.0)
+
+    @property
+    def n_banks_total(self) -> int:
+        return (self.n_channels * self.ranks_per_channel
+                * self.banks_per_rank)
+
+    @property
+    def relax_factor(self) -> int:
+        """How many 64 ms windows fit in the relaxed interval (4)."""
+        return int(round(self.relaxed_interval_ms
+                         / self.refresh_interval_ms))
+
+
+DEFAULT_CONFIG_32G = SystemConfig(density_gbit=32)
+DEFAULT_CONFIG_16G = SystemConfig(density_gbit=16)

@@ -1,0 +1,152 @@
+"""Refresh policies: uniform baseline, RAIDR, and DC-REF.
+
+Refresh work is modelled per tREFI slot: each rank is blocked at the
+start of every slot for ``work_fraction() * tRFC``, where the work
+fraction is the ratio of rows due for refresh relative to the uniform
+64 ms baseline. This is exact for the baseline's all-bank REF commands
+and a faithful average for RAIDR/DC-REF's row-granular refreshes (the
+overhead of refresh depends on the tRFC/tREFI *ratio*, which the model
+preserves at any simulated horizon - DESIGN.md Section 4).
+
+* :class:`UniformRefresh` - every row every 64 ms (work 1.0).
+* :class:`RaidrRefresh` - RAIDR [46]: rows with weak cells (16.4%,
+  profiled from real chips) every 64 ms, the rest every 256 ms.
+* :class:`DcRefPolicy` - the paper's Section 8 mechanism: a weak row
+  is refreshed at 64 ms *only while its current content matches the
+  worst-case pattern*; every other row runs at 256 ms. Writes update
+  the per-row match state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .params import SystemConfig
+
+__all__ = ["RefreshPolicy", "UniformRefresh", "RaidrRefresh",
+           "DcRefPolicy", "make_policy"]
+
+
+class RefreshPolicy:
+    """Interface: per-slot refresh work + write notifications."""
+
+    name = "abstract"
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.total_rows = (config.n_banks_total * config.rows_per_bank)
+
+    def work_fraction(self) -> float:
+        """Rows due per slot, relative to the uniform baseline."""
+        raise NotImplementedError
+
+    def on_write(self, bank: int, row: int, match_draw: float) -> None:
+        """A write of new content landed in (bank, row)."""
+
+    def row_refreshes_per_window(self) -> float:
+        """Row refreshes per 64 ms window (for the reduction stats)."""
+        return self.work_fraction() * self.total_rows
+
+    def high_rate_fraction(self) -> float:
+        """Fraction of rows currently refreshed at the fast rate."""
+        raise NotImplementedError
+
+
+class UniformRefresh(RefreshPolicy):
+    """The DDR3 default: every row every 64 ms."""
+
+    name = "baseline-64ms"
+
+    def work_fraction(self) -> float:
+        return 1.0
+
+    def high_rate_fraction(self) -> float:
+        return 1.0
+
+
+class RaidrRefresh(RefreshPolicy):
+    """RAIDR: retention-binned refresh, content-oblivious."""
+
+    name = "raidr"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        self.weak_fraction = config.weak_row_fraction
+
+    def work_fraction(self) -> float:
+        relax = self.config.relax_factor
+        return self.weak_fraction + (1.0 - self.weak_fraction) / relax
+
+    def high_rate_fraction(self) -> float:
+        return self.weak_fraction
+
+
+class DcRefPolicy(RefreshPolicy):
+    """Data content-based refresh on top of a PARBOR failure profile.
+
+    Maintains one flag per (bank, row): does the row currently hold
+    the worst-case pattern at one of its vulnerable cells? Only weak
+    rows (those containing PARBOR-detected data-dependent cells) can
+    ever be flagged; a write to a weak row re-evaluates the flag via
+    the pre-drawn match variate (the full content matcher is
+    :mod:`repro.dcref.content`; the sim uses its statistical image).
+    """
+
+    name = "dc-ref"
+
+    def __init__(self, config: SystemConfig, match_prob: float,
+                 seed: int = 0,
+                 initial_match: Optional[float] = None,
+                 weak_mask: Optional[np.ndarray] = None) -> None:
+        super().__init__(config)
+        rng = np.random.default_rng(seed)
+        n_banks = config.n_banks_total
+        shape = (n_banks, config.rows_per_bank)
+        if weak_mask is None:
+            # Statistical bins at the profiled fleet fraction.
+            self.weak = rng.random(shape) < config.weak_row_fraction
+        else:
+            # Bins from an actual retention-profiling campaign
+            # (repro.dcref.profiling), tiled over the memory system.
+            weak_mask = np.asarray(weak_mask, dtype=bool).ravel()
+            if weak_mask.size == 0:
+                raise ValueError("weak_mask must be non-empty")
+            reps = -(-self.total_rows // weak_mask.size)
+            self.weak = np.tile(weak_mask, reps)[:self.total_rows] \
+                .reshape(shape)
+        self.match_prob = float(match_prob)
+        init = self.match_prob if initial_match is None else initial_match
+        self.hot = self.weak & (rng.random(shape) < init)
+        self._hot_count = int(self.hot.sum())
+
+    def work_fraction(self) -> float:
+        relax = self.config.relax_factor
+        hot_fraction = self._hot_count / self.total_rows
+        return hot_fraction + (1.0 - hot_fraction) / relax
+
+    def high_rate_fraction(self) -> float:
+        return self._hot_count / self.total_rows
+
+    def on_write(self, bank: int, row: int, match_draw: float) -> None:
+        if not self.weak[bank, row]:
+            return
+        now_hot = match_draw < self.match_prob
+        was_hot = self.hot[bank, row]
+        if now_hot != was_hot:
+            self.hot[bank, row] = now_hot
+            self._hot_count += 1 if now_hot else -1
+
+
+def make_policy(name: str, config: SystemConfig, match_prob: float = 0.165,
+                seed: int = 0) -> RefreshPolicy:
+    """Factory by policy name ("baseline", "raidr", "dcref")."""
+    key = name.lower()
+    if key in ("baseline", "uniform", "baseline-64ms"):
+        return UniformRefresh(config)
+    if key == "raidr":
+        return RaidrRefresh(config)
+    if key in ("dcref", "dc-ref"):
+        return DcRefPolicy(config, match_prob=match_prob, seed=seed)
+    raise ValueError(f"unknown refresh policy {name!r}")

@@ -1,0 +1,89 @@
+"""Synthetic memory-request trace generation.
+
+A trace is the statistical image of one application's LLC-miss stream:
+instruction gaps between requests, target bank/row, read/write type,
+plus a pre-drawn uniform variate per write used by DC-REF to decide
+whether the written content matches the worst-case pattern. Generation
+is fully deterministic given (profile, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .apps import AppProfile
+from .params import SystemConfig
+
+__all__ = ["Trace", "generate_trace"]
+
+
+@dataclass
+class Trace:
+    """One core's request stream.
+
+    Attributes:
+        inst_gaps: instructions executed between the previous request
+            and this one (first entry counts from instruction 0).
+        banks: global bank index per request.
+        rows: row within the bank per request.
+        row_hits: whether the request hits the bank's open row.
+        is_write: writeback flag per request.
+        match_draws: uniform(0,1) variate per request, compared
+            against the app's ``worst_match_prob`` on writes.
+        total_instructions: instructions the trace represents.
+    """
+
+    inst_gaps: np.ndarray
+    banks: np.ndarray
+    rows: np.ndarray
+    row_hits: np.ndarray
+    is_write: np.ndarray
+    match_draws: np.ndarray
+    total_instructions: int
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+
+def generate_trace(profile: AppProfile, n_instructions: int,
+                   config: SystemConfig, seed: int) -> Trace:
+    """Synthesise a request stream for one application.
+
+    Requests arrive with geometric instruction gaps (mean
+    ``1000 / mpki``); each targets a uniform bank and either re-uses
+    that bank's open row (probability ``row_locality``) or opens a
+    uniform new one.
+    """
+    if n_instructions < 1:
+        raise ValueError("n_instructions must be positive")
+    rng = np.random.default_rng(seed)
+    mean_gap = 1000.0 / max(profile.mpki, 1e-6)
+    n_requests = max(1, int(round(n_instructions / mean_gap)))
+
+    p = min(1.0, 1.0 / mean_gap)
+    inst_gaps = rng.geometric(p, size=n_requests)
+    banks = rng.integers(0, config.n_banks_total, size=n_requests)
+    row_hits = rng.random(n_requests) < profile.row_locality
+    is_write = rng.random(n_requests) < profile.write_frac
+    match_draws = rng.random(n_requests)
+
+    # Open-row tracking per bank: a "hit" re-uses the last row opened
+    # in that bank; a miss opens a fresh uniform row.
+    rows = np.empty(n_requests, dtype=np.int64)
+    open_rows = np.full(config.n_banks_total, -1, dtype=np.int64)
+    fresh = rng.integers(0, config.rows_per_bank, size=n_requests)
+    for i in range(n_requests):
+        b = banks[i]
+        if row_hits[i] and open_rows[b] >= 0:
+            rows[i] = open_rows[b]
+        else:
+            rows[i] = fresh[i]
+            row_hits[i] = False
+            open_rows[b] = fresh[i]
+
+    return Trace(inst_gaps=inst_gaps.astype(np.int64), banks=banks,
+                 rows=rows, row_hits=row_hits, is_write=is_write,
+                 match_draws=match_draws,
+                 total_instructions=int(inst_gaps.sum()))

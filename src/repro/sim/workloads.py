@@ -1,0 +1,32 @@
+"""Multi-programmed workload mixes (paper Section 8).
+
+The paper evaluates 32 8-core workloads built by randomly assigning
+one of 17 SPEC CPU2006 applications to each core.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .apps import SPEC_2006, AppProfile, app
+
+__all__ = ["make_workloads", "workload_profiles"]
+
+
+def make_workloads(n_workloads: int = 32, n_cores: int = 8,
+                   seed: int = 2016) -> List[List[str]]:
+    """Draw the random application-to-core assignments."""
+    if n_workloads < 1 or n_cores < 1:
+        raise ValueError("need positive workload and core counts")
+    rng = np.random.default_rng(seed)
+    names = sorted(SPEC_2006)
+    return [[names[int(i)] for i in rng.integers(0, len(names),
+                                                 size=n_cores)]
+            for _ in range(n_workloads)]
+
+
+def workload_profiles(workload: List[str]) -> List[AppProfile]:
+    """Resolve a name mix into application profiles."""
+    return [app(name) for name in workload]

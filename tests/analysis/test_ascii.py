@@ -1,0 +1,45 @@
+"""ASCII chart rendering."""
+
+from repro.analysis import grouped_hbar_chart, hbar_chart
+
+
+class TestHbar:
+    def test_scales_to_peak(self):
+        out = hbar_chart({"a": 10, "b": 5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = hbar_chart({"long-label": 1, "x": 1})
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title_and_format(self):
+        out = hbar_chart({"a": 1.234}, title="T", fmt="{:.2f}")
+        assert out.splitlines()[0] == "T"
+        assert "1.23" in out
+
+    def test_empty(self):
+        assert hbar_chart({}) == ""
+        assert hbar_chart({}, title="T") == "T"
+
+    def test_negative_values_clamped(self):
+        out = hbar_chart({"neg": -5, "pos": 5}, width=10)
+        assert out.splitlines()[0].count("#") == 0
+
+
+class TestGrouped:
+    def test_shared_scale(self):
+        out = grouped_hbar_chart({"g1": {"a": 10}, "g2": {"a": 5}},
+                                 width=10)
+        lines = [ln for ln in out.splitlines() if "#" in ln]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_group_headers(self):
+        out = grouped_hbar_chart({"g1": {"a": 1}})
+        assert out.splitlines()[0] == "g1:"
+
+    def test_empty(self):
+        assert grouped_hbar_chart({}) == ""

@@ -1,0 +1,67 @@
+"""High-level experiment drivers (scaled-down smoke versions)."""
+
+import pytest
+
+from repro.analysis import (CoverageSplit, ModuleComparison,
+                            compare_module, ranking_histogram,
+                            recursion_for_vendor, sample_size_sweep)
+from repro.dram import make_module
+
+
+class TestRecursionDriver:
+    def test_vendor_b_matches_paper(self):
+        result = recursion_for_vendor("B", seed=11, n_rows=96,
+                                      sample_size=1500)
+        assert result.recursion.tests_per_level == [2, 8, 8, 24, 24]
+        assert result.magnitudes() == [1, 64]
+
+
+class TestModuleComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        module = make_module("A", 1, seed=5, n_rows=64, n_chips=2)
+        comp, _result = compare_module(module, seed=9)
+        return comp
+
+    def test_parbor_beats_random(self, comparison):
+        assert comparison.extra_failures > 0
+        assert comparison.extra_percent > 0
+
+    def test_split_consistency(self, comparison):
+        assert comparison.parbor_failures == (comparison.parbor_only
+                                              + comparison.both)
+        assert comparison.random_failures == (comparison.random_only
+                                              + comparison.both)
+
+    def test_coverage_split_sums_to_one(self, comparison):
+        split = CoverageSplit.from_comparison(comparison)
+        total = split.only_parbor + split.only_random + split.both
+        assert total == pytest.approx(1.0)
+        assert split.only_random < 0.1
+
+    def test_zero_division_guard(self):
+        empty = ModuleComparison("x", 0, 0, 0, 0, 0, 0)
+        assert empty.extra_percent == 0.0
+        assert CoverageSplit.from_comparison(empty).both == 0.0
+
+
+class TestRankingDrivers:
+    def test_level4_histogram_peaks_at_true_regions(self):
+        hist = ranking_histogram("A", level=4, seed=21, n_rows=96,
+                                 sample_size=1500)
+        # Figure 14 A: distances +-1, +-2, +-6 are the frequent ones.
+        top = {d for d, v in hist.items() if v > 0.25}
+        assert top <= {-1, 1, -2, 2, -6, 6}
+        assert {-1, 1} <= top
+
+    def test_unreached_level_rejected(self):
+        with pytest.raises(ValueError):
+            ranking_histogram("A", level=9, seed=1, n_rows=64,
+                              sample_size=200)
+
+    def test_sample_size_sweep_shapes(self):
+        sweep = sample_size_sweep("B", sample_sizes=(100, 800),
+                                  seed=3, n_rows=96)
+        assert set(sweep) == {100, 800}
+        # Larger samples see at least as many distinct distances.
+        assert len(sweep[800]) >= len(sweep[100]) - 2

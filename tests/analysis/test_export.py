@@ -1,0 +1,72 @@
+"""Machine-readable exporters."""
+
+import csv
+import io
+import json
+
+from repro.analysis import (ModuleComparison, campaign_to_json,
+                            comparisons_to_csv, comparisons_to_json,
+                            ranking_to_csv)
+from repro.core import ParborConfig, run_parbor
+from repro.dram import vendor
+
+
+def sample_comparison():
+    return ModuleComparison(module_id="A1", budget=142,
+                            parbor_failures=900, random_failures=800,
+                            parbor_only=150, random_only=50, both=750)
+
+
+class TestComparisonExport:
+    def test_csv_roundtrip(self):
+        buf = io.StringIO()
+        comparisons_to_csv([sample_comparison()], buf)
+        rows = list(csv.DictReader(io.StringIO(buf.getvalue())))
+        assert rows[0]["module"] == "A1"
+        assert int(rows[0]["extra_failures"]) == 100
+        assert float(rows[0]["extra_percent"]) == 12.5
+
+    def test_json_includes_coverage_split(self):
+        buf = io.StringIO()
+        comparisons_to_json([sample_comparison()], buf)
+        payload = json.loads(buf.getvalue())
+        assert payload[0]["module"] == "A1"
+        total = (payload[0]["only_parbor"] + payload[0]["only_random"]
+                 + payload[0]["both"])
+        assert abs(total - 1.0) < 1e-3
+
+
+class TestCampaignExport:
+    def test_full_campaign_serialises(self):
+        chip = vendor("B").make_chip(seed=3, n_rows=64)
+        result = run_parbor(chip, ParborConfig(sample_size=500), seed=1)
+        buf = io.StringIO()
+        campaign_to_json(result, buf)
+        payload = json.loads(buf.getvalue())
+        assert payload["magnitudes"] == [1, 64]
+        assert payload["budget"]["total"] == result.total_tests
+        assert len(payload["levels"]) == 5
+        assert "recovery" not in payload
+
+    def test_recovery_block_present_when_requested(self):
+        chip = vendor("B").make_chip(seed=13, n_rows=64)
+        result = run_parbor(chip, ParborConfig(sample_size=500), seed=4,
+                            recover_remapped=True)
+        buf = io.StringIO()
+        campaign_to_json(result, buf)
+        payload = json.loads(buf.getvalue())
+        assert "recovery" in payload
+        assert payload["recovery"]["attempted"] \
+            == result.recovery.attempted
+
+
+class TestRankingExport:
+    def test_csv_grid(self):
+        hists = {100: {0: 1.0, 5: 0.4}, 500: {0: 1.0, -1: 0.2}}
+        buf = io.StringIO()
+        ranking_to_csv(hists, buf)
+        rows = list(csv.reader(io.StringIO(buf.getvalue())))
+        assert rows[0] == ["distance", "n_100", "n_500"]
+        by_distance = {int(r[0]): r[1:] for r in rows[1:]}
+        assert by_distance[5] == ["0.4", "0.0"]
+        assert by_distance[-1] == ["0.0", "0.2"]

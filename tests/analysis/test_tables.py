@@ -1,0 +1,35 @@
+"""Report formatting."""
+
+from repro.analysis import format_distance_set, format_percent, format_table
+
+
+class TestDistanceSet:
+    def test_symmetric_pairs_collapse(self):
+        assert format_distance_set([-8, 8, -16, 16]) == "{+-8, +-16}"
+
+    def test_lone_signs_kept(self):
+        assert format_distance_set([-48, 8, -8]) == "{+-8, -48}"
+        assert format_distance_set([5]) == "{+5}"
+
+    def test_zero(self):
+        assert format_distance_set([0]) == "{0}"
+
+    def test_empty(self):
+        assert format_distance_set([]) == "{}"
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert format_percent(0.219) == "21.9%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns align: "x" header starts where values start.
+        assert lines[0].index("x") == lines[2].index("1")

@@ -1,0 +1,59 @@
+"""Shared fixtures: small hand-crafted chips with known ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (CoupledCellPopulation, CouplingSpec, DramChip,
+                        FaultSpec, NO_NEIGHBOUR, boustrophedon_path)
+from repro.dram.cells import MAX_CONTEXT
+from repro.dram.mapping import AddressMapping
+
+
+def tiny_mapping(row_bits=64, block=16):
+    """A small boustrophedon scrambler with distances {+-1, +-8}."""
+    path = boustrophedon_path(block, block=block // 2)
+    return AddressMapping(row_bits=row_bits, block_bits=block,
+                          block_path=tuple(path), tile_bits=block)
+
+
+def quiet_chip(mapping, n_rows=16, seed=0):
+    """A chip with no coupled cells and no random faults."""
+    return DramChip(mapping=mapping, n_rows=n_rows,
+                    coupling_spec=CouplingSpec(n_cells=0),
+                    fault_spec=FaultSpec(soft_error_rate=0.0),
+                    seed=seed)
+
+
+def plant_victims(chip, victims, bank=0):
+    """Install a known victim population into one bank.
+
+    Args:
+        chip: target chip.
+        victims: list of dicts with keys row, phys, w_left, w_right
+            (and optional p_fail, context - physical positions).
+    """
+    n = len(victims)
+    ctx = np.full((n, 2 * MAX_CONTEXT), NO_NEIGHBOUR, dtype=np.int64)
+    for i, v in enumerate(victims):
+        for j, pos in enumerate(v.get("context", [])):
+            ctx[i, j] = pos
+    tile = chip.mapping.tile_bits
+    phys = np.array([v["phys"] for v in victims])
+    left = np.where(phys % tile == 0, NO_NEIGHBOUR, phys - 1)
+    right = np.where(phys % tile == tile - 1, NO_NEIGHBOUR, phys + 1)
+    pop = CoupledCellPopulation(
+        row=np.array([v["row"] for v in victims]),
+        phys=phys, left_phys=left, right_phys=right,
+        w_left=np.array([v["w_left"] for v in victims], dtype=float),
+        w_right=np.array([v["w_right"] for v in victims], dtype=float),
+        p_fail=np.array([v.get("p_fail", 1.0) for v in victims],
+                        dtype=float),
+        context=ctx)
+    chip.banks[bank].coupled = pop
+    return pop
+
+
+@pytest.fixture
+def tiny_chip():
+    """64-bit rows, {+-1, +-8} scrambler, no cells planted yet."""
+    return quiet_chip(tiny_mapping())

@@ -1,0 +1,109 @@
+"""Appendix analytics: the paper's headline time and reduction numbers."""
+
+import pytest
+
+from repro.core import (exhaustive_cost_table, exhaustive_test_time_s,
+                        humanise_seconds, module_test_time_s,
+                        parbor_campaign_time_s, per_bit_test_time_ns,
+                        recursion_test_count, reduction_factor)
+from repro.core.complexity import SECONDS_PER_DAY, SECONDS_PER_YEAR
+
+
+class TestPerBitTime:
+    def test_dominated_by_retention_wait(self):
+        # Appendix: ~64 ms per tested bit.
+        assert per_bit_test_time_ns() == pytest.approx(64e6, rel=1e-4)
+
+
+class TestExhaustiveTimes:
+    def test_linear_test_takes_minutes(self):
+        # Appendix: 64 * 8192 ms = 8.73 minutes.
+        t = exhaustive_test_time_s(8192, 1)
+        assert t / 60 == pytest.approx(8.74, rel=0.01)
+
+    def test_pair_test_takes_49_days(self):
+        t = exhaustive_test_time_s(8192, 2)
+        assert t / SECONDS_PER_DAY == pytest.approx(49.7, rel=0.01)
+
+    def test_triple_test_takes_1115_years(self):
+        t = exhaustive_test_time_s(8192, 3)
+        assert t / SECONDS_PER_YEAR == pytest.approx(1115, rel=0.01)
+
+    def test_quad_test_takes_9_megayears(self):
+        t = exhaustive_test_time_s(8192, 4)
+        assert t / (1e6 * SECONDS_PER_YEAR) == pytest.approx(9.13,
+                                                             rel=0.01)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            exhaustive_test_time_s(8192, 0)
+
+    def test_cost_table_shape(self):
+        rows = exhaustive_cost_table()
+        assert [r.k_neighbours for r in rows] == [1, 2, 3, 4]
+        assert rows[1].human.endswith("days")
+        assert rows[3].human.endswith("M years")
+
+
+class TestModuleTimes:
+    def test_single_test_time_matches_appendix(self):
+        # 174.98 + 64 + 174.98 ms = 413.96 ms per whole-module test.
+        t = module_test_time_s(1)
+        assert t == pytest.approx(0.41396, rel=0.001)
+
+    def test_92_tests_take_38_seconds(self):
+        # 92 * 413.96 ms = 38.08 s (the paper's Section 7.2 quotes the
+        # 38-55 s range).
+        assert module_test_time_s(92) == pytest.approx(38.08, rel=0.01)
+
+    def test_132_tests_take_55_seconds(self):
+        assert module_test_time_s(132) == pytest.approx(54.64, rel=0.01)
+
+    def test_campaign_time_composition(self):
+        total = parbor_campaign_time_s(recursion_tests=66,
+                                       sweep_rounds=16,
+                                       discovery_tests=10)
+        assert total == pytest.approx(module_test_time_s(92), rel=1e-9)
+
+    def test_negative_tests_rejected(self):
+        with pytest.raises(ValueError):
+            module_test_time_s(-1)
+
+
+class TestReductions:
+    def test_paper_reduction_factors(self):
+        # "a 90X and 745,654X reduction" for O(n) and O(n^2).
+        assert reduction_factor(8192, 1, 90) == pytest.approx(91.0,
+                                                              rel=0.02)
+        assert reduction_factor(8192, 2, 90) == pytest.approx(745_654,
+                                                              rel=0.001)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_factor(8192, 2, 0)
+
+
+class TestRecursionCount:
+    def test_vendor_a_count(self):
+        # Table 1 row A: kept regions per level 1, 1, 3, 6, -.
+        assert recursion_test_count((2, 8, 8, 8, 8),
+                                    (1, 1, 3, 6, 6)) == 90
+
+    def test_vendor_b_count(self):
+        assert recursion_test_count((2, 8, 8, 8, 8),
+                                    (1, 1, 3, 3, 4)) == 66
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recursion_test_count((2, 8), (1,))
+
+
+class TestHumanise:
+    @pytest.mark.parametrize("seconds,needle", [
+        (30, "s"), (600, "min"), (7200, "h"),
+        (10 * SECONDS_PER_DAY, "days"),
+        (5 * SECONDS_PER_YEAR, "years"),
+        (2e6 * SECONDS_PER_YEAR, "M years"),
+    ])
+    def test_units(self, seconds, needle):
+        assert humanise_seconds(seconds).endswith(needle)

@@ -1,0 +1,95 @@
+"""PARBOR configuration and the data-pattern library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ParborConfig, checkerboard, discovery_patterns,
+                        inverse, random_pattern, region_sizes, solid,
+                        walking_ones, with_inverses)
+
+
+class TestRegionSizes:
+    def test_paper_fanouts(self):
+        assert region_sizes(8192, (2, 8, 8, 8, 8)) \
+            == (4096, 512, 64, 8, 1)
+
+    def test_non_dividing_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            region_sizes(100, (3, 8))
+
+    def test_incomplete_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            region_sizes(8192, (2, 8))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ParborConfig()
+        assert cfg.fanouts == (2, 8, 8, 8, 8)
+        assert cfg.n_discovery_tests == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParborConfig(n_discovery_tests=1)
+        with pytest.raises(ValueError):
+            ParborConfig(ranking_threshold=0.0)
+        with pytest.raises(ValueError):
+            ParborConfig(marginal_region_fraction=1.5)
+        with pytest.raises(ValueError):
+            ParborConfig(scheduler="magic")
+
+    def test_sizes_for(self):
+        assert ParborConfig().sizes_for(8192)[-1] == 1
+
+
+class TestPatterns:
+    def test_solid_values(self):
+        assert solid(16, 0).sum() == 0
+        assert solid(16, 1).sum() == 16
+        with pytest.raises(ValueError):
+            solid(16, 2)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_checkerboard_period(self, period):
+        row = checkerboard(1024, period=period)
+        # Runs of equal bits have exactly `period` length (except the
+        # tail).
+        changes = np.flatnonzero(np.diff(row.astype(np.int8)))
+        if len(changes) > 1:
+            assert set(np.diff(changes).tolist()) == {period}
+
+    def test_checkerboard_phase_shifts(self):
+        a = checkerboard(64, period=4, phase=0)
+        b = checkerboard(64, period=4, phase=4)
+        assert np.array_equal(a[4:], b[:-4])
+
+    def test_walking_ones(self):
+        row = walking_ones(32, 7)
+        assert row.sum() == 1 and row[7] == 1
+        with pytest.raises(ValueError):
+            walking_ones(32, 32)
+
+    def test_inverse_involution(self):
+        row = random_pattern(128, np.random.default_rng(0))
+        assert np.array_equal(inverse(inverse(row)), row)
+
+    def test_with_inverses_pairs(self):
+        battery = list(with_inverses([("solid0", solid(8, 0))]))
+        assert len(battery) == 2
+        assert battery[1][0] == "~solid0"
+        assert np.array_equal(battery[1][1], solid(8, 1))
+
+    def test_discovery_battery_size_and_determinism(self):
+        a = discovery_patterns(64, 10, np.random.default_rng(5))
+        b = discovery_patterns(64, 10, np.random.default_rng(5))
+        assert len(a) == 10
+        for (na, pa), (nb, pb) in zip(a, b):
+            assert na == nb and np.array_equal(pa, pb)
+
+    def test_discovery_battery_includes_classics(self):
+        names = [n for n, _ in discovery_patterns(64, 10,
+                                                  np.random.default_rng(0))]
+        assert "solid0" in names and "checker1" in names

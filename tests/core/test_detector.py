@@ -1,0 +1,64 @@
+"""The five-step PARBOR pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ParborConfig, controllers_for, run_parbor)
+from repro.dram import DramModule, MemoryController, vendor
+
+
+class TestRunParbor:
+    def test_detects_most_coupled_cells(self):
+        chip = vendor("A").make_chip(seed=11, n_rows=64)
+        result = run_parbor(chip, ParborConfig(sample_size=1000), seed=5)
+        pop = chip.banks[0].coupled
+        p2s = chip.mapping.phys_to_sys()
+        coupled = {(0, 0, int(r), int(p2s[p]))
+                   for r, p in zip(pop.row, pop.phys)
+                   if not pop.remapped[list(pop.row).index(r)]}
+        # Regular (non-remapped) coupled cells: PARBOR should find the
+        # vast majority.
+        regular = {(0, 0, int(pop.row[i]), int(p2s[pop.phys[i]]))
+                   for i in range(len(pop)) if not pop.remapped[i]}
+        hit = len(regular & result.detected) / len(regular)
+        assert hit > 0.9
+
+    def test_budget_itemisation(self):
+        chip = vendor("B").make_chip(seed=3, n_rows=64)
+        result = run_parbor(chip, ParborConfig(sample_size=1000), seed=1)
+        assert result.total_tests == (result.n_discovery_tests
+                                      + result.n_recursion_tests
+                                      + result.n_sweep_rounds)
+        assert result.n_discovery_tests == 10
+        assert result.n_sweep_rounds == result.schedule.total_rounds
+
+    def test_run_sweep_false_skips_detection(self):
+        chip = vendor("A").make_chip(seed=3, n_rows=64)
+        result = run_parbor(chip, ParborConfig(sample_size=500), seed=1,
+                            run_sweep=False)
+        assert result.detected == set()
+        assert result.n_sweep_rounds == 0
+        assert result.schedule is None
+
+    def test_detected_includes_discovery_failures(self):
+        chip = vendor("A").make_chip(seed=9, n_rows=64)
+        result = run_parbor(chip, ParborConfig(sample_size=500), seed=2)
+        assert result.sample.observed_failures <= result.detected
+
+    def test_module_target_pools_chips(self):
+        profile = vendor("B")
+        chips = [profile.make_chip(seed=i, n_rows=32,
+                                   chip_id=f"c{i}") for i in range(2)]
+        module = DramModule("B9", chips)
+        result = run_parbor(module, ParborConfig(sample_size=500),
+                            seed=4, run_sweep=False)
+        assert set(result.sample.chip.tolist()) <= {0, 1}
+        assert result.magnitudes() == [1, 64]
+
+    def test_controllers_for_variants(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        assert len(controllers_for(chip)) == 1
+        assert len(controllers_for([chip, chip])) == 2
+        module = DramModule("A9", [chip])
+        assert len(controllers_for(module)) == 1
+        assert isinstance(controllers_for(chip)[0], MemoryController)

@@ -1,0 +1,162 @@
+"""Paper-sketched extensions: remapped-cell recovery (Section 7.3) and
+future-node multi-neighbour coupling (Sections 1/3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ParborConfig, recover_irregular_victims,
+                        run_parbor)
+from repro.dram import CouplingSpec, DramChip, FaultSpec, MemoryController
+from repro.dram.cells import CoupledCellPopulation, NO_NEIGHBOUR
+
+from .conftest import quiet_chip, tiny_mapping
+
+
+def plant_irregular(chip, victims):
+    """Victims with explicit (possibly far-away) aggressor positions."""
+    n = len(victims)
+    pop = CoupledCellPopulation(
+        row=np.array([v["row"] for v in victims]),
+        phys=np.array([v["phys"] for v in victims]),
+        left_phys=np.array([v.get("left", NO_NEIGHBOUR)
+                            for v in victims]),
+        right_phys=np.array([v.get("right", NO_NEIGHBOUR)
+                             for v in victims]),
+        w_left=np.array([v.get("w_left", 0.0) for v in victims]),
+        w_right=np.array([v.get("w_right", 0.0) for v in victims]),
+        p_fail=np.ones(n),
+        remapped=np.ones(n, dtype=bool))
+    chip.banks[0].coupled = pop
+    return pop
+
+
+class TestRemapRecovery:
+    def test_recovers_weak_pair_at_arbitrary_positions(self):
+        mapping = tiny_mapping()
+        chip = quiet_chip(mapping, n_rows=4)
+        plant_irregular(chip, [dict(row=0, phys=20, left=5, right=45,
+                                    w_left=0.7, w_right=0.7)])
+        p2s = mapping.phys_to_sys()
+        coord = (0, 0, 0, int(p2s[20]))
+        ctrl = MemoryController(chip)
+        result = recover_irregular_victims([ctrl], [coord],
+                                           ParborConfig())
+        assert result.attempted == 1
+        assert set(result.aggressors[coord]) == {int(p2s[5]),
+                                                 int(p2s[45])}
+
+    def test_recovers_strong_single_aggressor(self):
+        mapping = tiny_mapping()
+        chip = quiet_chip(mapping, n_rows=4)
+        plant_irregular(chip, [dict(row=1, phys=10, left=50,
+                                    w_left=1.5)])
+        p2s = mapping.phys_to_sys()
+        coord = (0, 0, 1, int(p2s[10]))
+        ctrl = MemoryController(chip)
+        result = recover_irregular_victims([ctrl], [coord],
+                                           ParborConfig())
+        assert result.aggressors[coord] == [int(p2s[50])]
+
+    def test_non_reproducible_victim_skipped(self):
+        chip = quiet_chip(tiny_mapping(), n_rows=4)
+        ctrl = MemoryController(chip)
+        result = recover_irregular_victims([ctrl], [(0, 0, 0, 7)],
+                                           ParborConfig())
+        assert result.attempted == 1
+        assert len(result) == 0
+
+    def test_test_budget_logarithmic(self):
+        mapping = tiny_mapping()
+        chip = quiet_chip(mapping, n_rows=4)
+        plant_irregular(chip, [dict(row=0, phys=20, left=5, right=45,
+                                    w_left=0.7, w_right=0.7)])
+        p2s = mapping.phys_to_sys()
+        ctrl = MemoryController(chip)
+        result = recover_irregular_victims(
+            [ctrl], [(0, 0, 0, int(p2s[20]))], ParborConfig())
+        # O(log n): far below the 64^2/2 pair tests.
+        assert result.tests < 120
+
+    def test_max_victims_cap(self):
+        chip = quiet_chip(tiny_mapping(), n_rows=4)
+        ctrl = MemoryController(chip)
+        residual = [(0, 0, 0, c) for c in range(10)]
+        result = recover_irregular_victims([ctrl], residual,
+                                           ParborConfig(), max_victims=3)
+        assert result.attempted == 3
+
+    def test_end_to_end_recovery_improves_coverage(self):
+        from repro.dram import vendor
+        # Two identical chips: campaigns are stochastic, so the
+        # comparison needs independent-but-equal targets.
+        chip_a = vendor("B").make_chip(seed=13, n_rows=96)
+        chip_b = vendor("B").make_chip(seed=13, n_rows=96)
+        base = run_parbor(chip_a, ParborConfig(sample_size=1500), seed=4)
+        with_rec = run_parbor(chip_b, ParborConfig(sample_size=1500),
+                              seed=4, recover_remapped=True)
+        assert with_rec.recovery is not None
+        assert with_rec.recovery.attempted > 0
+        assert len(with_rec.recovery) > 0
+        # Recovered victims are remapped-column cells: their recovered
+        # aggressor sets exist and the campaign's budget grew.
+        assert with_rec.total_tests > base.total_tests
+
+
+class TestSecondOrderCoupling:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CouplingSpec(n_cells=1, second_order_fraction=1.5)
+
+    def test_default_has_no_second_order(self):
+        from repro.dram import vendor
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        pop = chip.banks[0].coupled
+        gap = np.abs(pop.phys - pop.left_phys)
+        # Remapped victims have arbitrary aggressors; regular ones are
+        # immediate neighbours by default.
+        ok = (pop.left_phys != NO_NEIGHBOUR) & ~pop.remapped
+        assert (gap[ok] == 1).all()
+
+    def test_second_order_aggressors_two_out(self):
+        from repro.dram import vendor
+        mapping = vendor("A").mapping(8192)
+        spec = CouplingSpec(n_cells=2000, second_order_fraction=0.5)
+        chip = DramChip(mapping=mapping, n_rows=16, coupling_spec=spec,
+                        fault_spec=FaultSpec(soft_error_rate=0.0), seed=3)
+        pop = chip.banks[0].coupled
+        strong = pop.strong_mask
+        gaps = []
+        for side in (pop.left_phys, pop.right_phys):
+            ok = strong & (side != NO_NEIGHBOUR)
+            gaps.extend(np.abs(pop.phys - side)[ok].tolist())
+        assert 2 in gaps and 1 in gaps
+
+    def test_order2_distance_set(self):
+        from repro.dram import vendor
+        mapping = vendor("B").mapping(8192)
+        first = set(mapping.distance_magnitudes(order=1))
+        second = set(mapping.distance_magnitudes(order=2))
+        assert first == {1, 64}
+        # Pair-block path: consecutive steps +-64, +-1 compose to 63/65.
+        assert second == {63, 65}
+
+    def test_order_validated(self):
+        from repro.dram import identity_mapping
+        with pytest.raises(ValueError):
+            identity_mapping(64).neighbour_distance_set(order=0)
+
+    def test_parbor_discovers_second_order_distances(self):
+        """On a future-node chip, the same PARBOR campaign finds the
+        extended distance set - no algorithm change needed."""
+        from repro.dram import vendor
+        profile = vendor("B")
+        mapping = profile.mapping(8192)
+        spec = CouplingSpec(n_cells=1500, second_order_fraction=0.45)
+        chip = DramChip(mapping=mapping, n_rows=96, coupling_spec=spec,
+                        fault_spec=profile.faults, seed=9)
+        result = run_parbor(chip, ParborConfig(sample_size=1500),
+                            seed=2, run_sweep=False)
+        mags = set(result.magnitudes())
+        assert {1, 64} <= mags
+        # At least one second-order distance (63 or 65) surfaces.
+        assert mags & {63, 65}

@@ -1,0 +1,148 @@
+"""March tests: notation, mechanics, and the Challenge-2 gap."""
+
+import numpy as np
+import pytest
+
+from repro.core import (MARCH_B, MARCH_C_MINUS, MATS_PLUS, MarchElement,
+                        MarchOp, MarchTest, checkerboard, controllers_for,
+                        parse_march, run_march)
+from repro.dram import MemoryController, vendor
+
+from .conftest import plant_victims, quiet_chip, tiny_mapping
+
+
+class TestNotation:
+    def test_parse_mats_plus(self):
+        test = parse_march("MATS+", "{b(w0); u(r0,w1); d(r1,w0)}")
+        assert len(test.elements) == 3
+        assert test.elements[0].direction == 0
+        assert test.elements[1].direction == 1
+        assert test.elements[2].direction == -1
+        assert test.ops_per_cell == 5
+
+    def test_standard_complexities(self):
+        assert MATS_PLUS.ops_per_cell == 5       # 5n
+        assert MARCH_C_MINUS.ops_per_cell == 10  # 10n
+        assert MARCH_B.ops_per_cell == 17        # 17n
+
+    def test_roundtrip_str(self):
+        assert "u(r0,w1)" in str(MATS_PLUS)
+
+    @pytest.mark.parametrize("bad", [
+        "b(w0); u(r0)",          # missing braces
+        "{x(w0)}",               # bad direction
+        "{u(w2)}",               # bad value
+        "{u()}",                 # empty ops
+        "{}",                    # empty test
+    ])
+    def test_bad_notation_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_march("bad", bad)
+
+    def test_op_validation(self):
+        with pytest.raises(ValueError):
+            MarchOp(kind="x", value=0)
+        with pytest.raises(ValueError):
+            MarchOp(kind="r", value=2)
+        with pytest.raises(ValueError):
+            MarchElement(direction=2, ops=(MarchOp("r", 0),))
+
+
+class TestMechanics:
+    def test_clean_chip_passes(self):
+        chip = quiet_chip(tiny_mapping(), n_rows=8)
+        outcome = run_march(controllers_for(chip), MARCH_C_MINUS)
+        assert outcome.detected == set()
+
+    def test_operation_count(self):
+        chip = quiet_chip(tiny_mapping(), n_rows=8)
+        outcome = run_march(controllers_for(chip), MARCH_C_MINUS)
+        assert outcome.row_operations == 10 * 8
+        assert outcome.retention_waits == 5
+
+    def test_pause_free_variant_skips_waits(self):
+        chip = quiet_chip(tiny_mapping(), n_rows=8)
+        fast = MarchTest("fast", MARCH_C_MINUS.elements,
+                         pause_between=False)
+        outcome = run_march(controllers_for(chip), fast)
+        assert outcome.retention_waits == 0
+
+    def test_requires_controllers(self):
+        with pytest.raises(ValueError):
+            run_march([], MATS_PLUS)
+
+
+class TestChallengeTwo:
+    """Section 3, Challenge 2: simple tests miss data-dependent
+    failures behind the scrambler."""
+
+    def test_solid_march_misses_coupled_cells(self):
+        mapping = tiny_mapping()          # distances {+-1, +-8}
+        chip = quiet_chip(mapping, n_rows=8)
+        plant_victims(chip, [dict(row=0, phys=20, w_left=1.5,
+                                  w_right=0.2)])
+        outcome = run_march(controllers_for(chip), MARCH_C_MINUS)
+        assert outcome.detected == set()   # uniform data: invisible
+
+    def test_checkerboard_march_catches_adjacent_coupling_only(self):
+        mapping = tiny_mapping()
+        chip = quiet_chip(mapping, n_rows=8)
+        # Victim at phys 20: aggressor at system distance -1 (odd ->
+        # checkerboard puts opposite values there).
+        # Victim at phys 8: aggressor at system distance -8 (even ->
+        # checkerboard puts the SAME value there; invisible).
+        plant_victims(chip, [
+            dict(row=0, phys=20, w_left=1.5, w_right=0.2),
+            dict(row=1, phys=8, w_left=1.5, w_right=0.2),
+        ])
+        p2s = mapping.phys_to_sys()
+        outcome = run_march(controllers_for(chip), MARCH_C_MINUS,
+                            background=checkerboard(64))
+        assert (0, 0, 0, int(p2s[20])) in outcome.detected
+        assert (0, 0, 1, int(p2s[8])) not in outcome.detected
+
+    def test_march_finds_weak_cells(self):
+        """Weak (content-independent) cells DO fall to solid marches -
+        they are what manufacturing tests screen."""
+        chip = vendor("A").make_chip(seed=11, n_rows=64)
+        outcome = run_march(controllers_for(chip), MARCH_C_MINUS)
+        faults = chip.banks[0].faults
+        p2s = chip.mapping.phys_to_sys()
+        weak = {(0, 0, int(r), int(p2s[c]))
+                for r, c in zip(faults.weak_row, faults.weak_phys)
+                if faults.weak_threshold[list(faults.weak_row).index(r)]
+                <= 1.0}
+        # The solid march caught a healthy share of the weak cells but
+        # almost none of the (far larger) coupled population.
+        coupled = chip.coupled_cell_count()
+        assert len(outcome.detected & weak) >= len(weak) // 2
+        assert len(outcome.detected) < 0.2 * coupled
+
+
+class TestExtendedMarches:
+    def test_march_ss_complexity(self):
+        from repro.core import MARCH_SS
+        assert MARCH_SS.ops_per_cell == 22
+
+    def test_march_lr_complexity(self):
+        from repro.core import MARCH_LR
+        assert MARCH_LR.ops_per_cell == 14
+
+    def test_extended_marches_run_clean(self):
+        from repro.core import MARCH_LR, MARCH_SS
+        chip = quiet_chip(tiny_mapping(), n_rows=4)
+        for test in (MARCH_SS, MARCH_LR):
+            assert run_march(controllers_for(chip), test).detected \
+                == set()
+
+
+class TestNotationRoundtrip:
+    @pytest.mark.parametrize("test_name", ["MATS_PLUS", "MARCH_C_MINUS",
+                                           "MARCH_B", "MARCH_SS",
+                                           "MARCH_LR"])
+    def test_parse_notation_roundtrip(self, test_name):
+        import repro.core as core
+        original = getattr(core, test_name)
+        reparsed = parse_march(original.name, original.notation())
+        assert reparsed.elements == original.elements
+        assert reparsed.ops_per_cell == original.ops_per_cell

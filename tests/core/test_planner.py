@@ -1,0 +1,69 @@
+"""Analytic campaign planner vs. the paper and the empirical runs."""
+
+import pytest
+
+from repro.core import (ParborConfig, plan_campaign,
+                        predict_level_distances)
+
+VENDOR_SETS = {"A": [-8, 8, -16, 16, -48, 48],
+               "B": [-1, 1, -64, 64],
+               "C": [-16, 16, -33, 33, -49, 49]}
+PAPER_TESTS = {"A": [2, 8, 8, 24, 48],
+               "B": [2, 8, 8, 24, 24],
+               "C": [2, 8, 8, 24, 48]}
+
+
+class TestPlanner:
+    @pytest.mark.parametrize("name", ["A", "B", "C"])
+    def test_predicts_table1_exactly(self, name):
+        plan = plan_campaign(VENDOR_SETS[name])
+        assert [t for t, _ in plan.levels] == PAPER_TESTS[name]
+        assert plan.recursion_tests == sum(PAPER_TESTS[name])
+
+    @pytest.mark.parametrize("name", ["A", "B", "C"])
+    def test_predicts_figure11_final_level(self, name):
+        plan = plan_campaign(VENDOR_SETS[name])
+        assert plan.levels[-1][1] == sorted(
+            VENDOR_SETS[name], key=lambda d: (abs(d), d))
+
+    def test_vendor_b_intermediate_levels(self):
+        plan = plan_campaign(VENDOR_SETS["B"])
+        kept = [k for _, k in plan.levels]
+        assert kept[2] == [0, -1, 1]
+        assert kept[3] == [0, -8, 8]   # the +-1 stragglers filtered
+
+    def test_wall_clock_in_paper_band(self):
+        # Paper Section 7.2: campaigns take tens of seconds per module.
+        for name in VENDOR_SETS:
+            plan = plan_campaign(VENDOR_SETS[name])
+            assert 30 <= plan.wall_clock_s() <= 90
+
+    def test_budget_itemisation(self):
+        plan = plan_campaign(VENDOR_SETS["A"])
+        assert plan.total_tests == (plan.discovery_tests
+                                    + plan.recursion_tests
+                                    + plan.sweep_rounds)
+
+    def test_matches_empirical_run(self):
+        """The analytic plan agrees with an actual campaign."""
+        from repro.core import run_parbor
+        from repro.dram import vendor
+        chip = vendor("B").make_chip(seed=7, n_rows=96)
+        result = run_parbor(chip, ParborConfig(sample_size=1500),
+                            seed=3, run_sweep=False)
+        plan = plan_campaign(VENDOR_SETS["B"])
+        assert result.recursion.tests_per_level \
+            == [t for t, _ in plan.levels]
+
+    def test_empty_distances_rejected(self):
+        with pytest.raises(ValueError):
+            predict_level_distances([], 8192, (2, 8, 8, 8, 8), 0.06)
+
+    def test_threshold_controls_pruning(self):
+        # A permissive threshold keeps the rare boundary regions that
+        # the default filters out (vendor B's +-1 at level 4).
+        strict = predict_level_distances(VENDOR_SETS["B"], 8192,
+                                         (2, 8, 8, 8, 8), 0.06)
+        loose = predict_level_distances(VENDOR_SETS["B"], 8192,
+                                        (2, 8, 8, 8, 8), 0.005)
+        assert len(loose[3][1]) > len(strict[3][1])

@@ -1,0 +1,56 @@
+"""Distance ranking and noise filtering."""
+
+import pytest
+
+from repro.core import normalised_ranking, rank_distances
+
+
+class TestRankDistances:
+    def test_keeps_frequent_drops_rare(self):
+        reporters = {0: 500, -1: 120, 1: 110, 7: 3, -9: 2}
+        out = rank_distances(reporters, n_active=1000, threshold=0.06)
+        assert out.kept == [0, -1, 1]
+        assert set(out.dropped) == {7, -9}
+        assert out.max_reporters == 500
+
+    def test_threshold_relative_to_sample(self):
+        reporters = {0: 500, 5: 10}
+        # 10/1000 = 1% < 6%.
+        assert rank_distances(reporters, 1000, 0.06).kept == [0]
+        # 10/100 = 10% >= 6%.
+        assert set(rank_distances(reporters, 100, 0.06).kept) == {0, 5}
+
+    def test_empty_reporters(self):
+        out = rank_distances({}, n_active=100, threshold=0.1)
+        assert out.kept == [] and out.dropped == []
+
+    def test_zero_active_sample(self):
+        out = rank_distances({1: 5}, n_active=0, threshold=0.1)
+        assert out.kept == []
+
+    def test_minimum_support_of_one(self):
+        # With a tiny sample the cut never drops below one reporter.
+        out = rank_distances({3: 1}, n_active=2, threshold=0.06)
+        assert out.kept == [3]
+
+    def test_kept_sorted_by_magnitude(self):
+        reporters = {8: 50, -1: 50, -8: 50, 1: 50}
+        out = rank_distances(reporters, 100, 0.06)
+        assert out.kept == [-1, 1, -8, 8]
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            rank_distances({0: 1}, 10, 0.0)
+        with pytest.raises(ValueError):
+            rank_distances({0: 1}, 10, 1.5)
+
+
+class TestNormalisedRanking:
+    def test_normalises_to_most_frequent(self):
+        hist = normalised_ranking({0: 200, 1: 100, 2: 50})
+        assert hist[0] == 1.0
+        assert hist[1] == pytest.approx(0.5)
+        assert hist[2] == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert normalised_ranking({}) == {}

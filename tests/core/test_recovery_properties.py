@@ -1,0 +1,75 @@
+"""Property tests: adaptive group testing finds arbitrary aggressors."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParborConfig, recover_irregular_victims
+from repro.dram import MemoryController
+
+from .conftest import quiet_chip, tiny_mapping
+from .test_extensions import plant_irregular
+
+
+@given(st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+@settings(max_examples=25, deadline=None)
+def test_weak_pair_recovered_anywhere(victim, left, right):
+    """Any distinct victim/aggressor placement is located exactly."""
+    assume(len({victim, left, right}) == 3)
+    mapping = tiny_mapping()
+    chip = quiet_chip(mapping, n_rows=2)
+    s2p = mapping.sys_to_phys()
+    plant_irregular(chip, [dict(row=0, phys=int(s2p[victim]),
+                                left=int(s2p[left]),
+                                right=int(s2p[right]),
+                                w_left=0.7, w_right=0.7)])
+    ctrl = MemoryController(chip)
+    result = recover_irregular_victims([ctrl], [(0, 0, 0, victim)],
+                                       ParborConfig())
+    assert set(result.aggressors.get((0, 0, 0, victim), [])) \
+        == {left, right}
+
+
+@given(st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+@settings(max_examples=25, deadline=None)
+def test_strong_single_recovered_anywhere(victim, aggressor):
+    assume(victim != aggressor)
+    mapping = tiny_mapping()
+    chip = quiet_chip(mapping, n_rows=2)
+    s2p = mapping.sys_to_phys()
+    plant_irregular(chip, [dict(row=0, phys=int(s2p[victim]),
+                                left=int(s2p[aggressor]),
+                                w_left=1.5)])
+    ctrl = MemoryController(chip)
+    result = recover_irregular_victims([ctrl], [(0, 0, 0, victim)],
+                                       ParborConfig())
+    assert result.aggressors.get((0, 0, 0, victim)) == [aggressor]
+
+
+def test_recovery_test_count_scales_logarithmically():
+    """Doubling the row width adds a bounded number of extra tests."""
+    from repro.dram import boustrophedon_path
+    from repro.dram.mapping import AddressMapping
+
+    counts = {}
+    for bits in (64, 256, 1024):
+        path = boustrophedon_path(bits, block=bits // 2)
+        mapping = AddressMapping(row_bits=bits, block_bits=bits,
+                                 block_path=tuple(path), tile_bits=bits)
+        chip = quiet_chip(mapping, n_rows=2)
+        s2p = mapping.sys_to_phys()
+        plant_irregular(chip, [dict(row=0, phys=int(s2p[5]),
+                                    left=int(s2p[1]),
+                                    right=int(s2p[bits - 3]),
+                                    w_left=0.7, w_right=0.7)])
+        ctrl = MemoryController(chip)
+        result = recover_irregular_victims([ctrl], [(0, 0, 0, 5)],
+                                           ParborConfig())
+        assert (0, 0, 0, 5) in result.aggressors
+        counts[bits] = result.tests
+    # 16x the bits, far less than 16x the tests.
+    assert counts[1024] < 3 * counts[64]

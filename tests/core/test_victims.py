@@ -1,0 +1,86 @@
+"""Initial victim-set discovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParborConfig, find_initial_victims
+from repro.dram import (CouplingSpec, DramChip, FaultSpec,
+                        MemoryController, vendor)
+
+from .conftest import plant_victims, quiet_chip, tiny_mapping
+
+
+def discover(chip, sample_size=1000, seed=0, n_tests=10):
+    cfg = ParborConfig(sample_size=sample_size,
+                       n_discovery_tests=n_tests)
+    ctrl = MemoryController(chip)
+    return find_initial_victims([ctrl], cfg, np.random.default_rng(seed))
+
+
+class TestDiscovery:
+    def test_finds_planted_strong_victims(self):
+        mapping = tiny_mapping()
+        chip = quiet_chip(mapping, n_rows=8)
+        plant_victims(chip, [
+            dict(row=1, phys=20, w_left=1.5, w_right=0.2),
+            dict(row=3, phys=40, w_left=0.2, w_right=1.5),
+        ])
+        sample = discover(chip)
+        coords = set(sample.coords())
+        p2s = mapping.phys_to_sys()
+        assert (0, 0, 1, int(p2s[20])) in coords
+        assert (0, 0, 3, int(p2s[40])) in coords
+
+    def test_clean_chip_yields_empty_sample(self):
+        chip = quiet_chip(tiny_mapping(), n_rows=8)
+        sample = discover(chip)
+        assert len(sample) == 0
+        assert sample.observed_failures == set()
+
+    def test_sample_size_cap(self):
+        chip = vendor("C").make_chip(seed=1, n_rows=64)
+        ctrl = MemoryController(chip)
+        cfg = ParborConfig(sample_size=50)
+        sample = find_initial_victims([ctrl], cfg,
+                                      np.random.default_rng(0))
+        assert len(sample) == 50
+
+    def test_observed_failures_superset_of_sample(self):
+        chip = vendor("A").make_chip(seed=1, n_rows=64)
+        ctrl = MemoryController(chip)
+        sample = find_initial_victims([ctrl], ParborConfig(),
+                                      np.random.default_rng(0))
+        assert set(sample.coords()) <= sample.observed_failures
+
+    def test_budget_matches_battery(self):
+        chip = vendor("A").make_chip(seed=1, n_rows=32)
+        ctrl = MemoryController(chip)
+        cfg = ParborConfig(n_discovery_tests=6)
+        sample = find_initial_victims([ctrl], cfg,
+                                      np.random.default_rng(0))
+        assert sample.n_discovery_tests == 6
+        assert ctrl.stats.tests == 6
+
+    def test_requires_controllers(self):
+        with pytest.raises(ValueError):
+            find_initial_victims([], ParborConfig(),
+                                 np.random.default_rng(0))
+
+    def test_mixed_row_width_rejected(self):
+        a = MemoryController(vendor("A").make_chip(seed=0, n_rows=16))
+        b = MemoryController(vendor("A").make_chip(seed=0, n_rows=16,
+                                                   row_bits=4096))
+        with pytest.raises(ValueError):
+            find_initial_victims([a, b], ParborConfig(),
+                                 np.random.default_rng(0))
+
+    def test_subset_and_from_coords_roundtrip(self):
+        chip = vendor("A").make_chip(seed=1, n_rows=32)
+        ctrl = MemoryController(chip)
+        sample = find_initial_victims([ctrl], ParborConfig(),
+                                      np.random.default_rng(0))
+        mask = np.zeros(len(sample), dtype=bool)
+        mask[: len(sample) // 2] = True
+        half = sample.subset(mask)
+        assert len(half) == int(mask.sum())
+        assert set(half.coords()) <= set(sample.coords())

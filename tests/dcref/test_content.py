@@ -1,0 +1,89 @@
+"""Worst-case-pattern content matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dcref import (VulnerableRow, build_vulnerability_map,
+                         row_matches_worst_case)
+
+
+def content(bits):
+    return np.asarray(bits, dtype=np.uint8)
+
+
+class TestMatcher:
+    def test_exact_worst_case_matches(self):
+        # Victim at 4, neighbours at +-2: 1 surrounded by 0s.
+        row = content([0, 0, 0, 0, 1, 0, 0, 0])
+        assert row_matches_worst_case(row, [4], [-2, 2])
+
+    def test_partial_pattern_does_not_match(self):
+        row = content([0, 0, 1, 0, 1, 0, 0, 0])   # +(-2) neighbour is 1
+        assert not row_matches_worst_case(row, [4], [-2, 2])
+
+    def test_inverse_polarity_matches_too(self):
+        # Anti cells: 0 surrounded by 1s is equally dangerous.
+        row = content([1, 1, 1, 1, 0, 1, 1, 1])
+        assert row_matches_worst_case(row, [4], [-2, 2])
+
+    def test_uniform_content_never_matches(self):
+        for v in (0, 1):
+            row = content([v] * 16)
+            assert not row_matches_worst_case(row, [4, 8], [-2, 2])
+
+    def test_out_of_row_neighbours_ignored(self):
+        # Victim at 0: the -2 neighbour is off-row; only +2 matters.
+        row = content([1, 1, 0, 1])
+        assert row_matches_worst_case(row, [0], [-2, 2])
+
+    def test_empty_vulnerable_set_never_matches(self):
+        assert not row_matches_worst_case(content([1, 0, 1]), [], [1])
+
+    def test_any_vulnerable_cell_suffices(self):
+        row = content([1, 1, 1, 0, 1, 0, 1, 1])
+        # Cell 4 is in the worst case (1 with both +-1 neighbours 0);
+        # cell 1 is not.
+        assert row_matches_worst_case(row, [1, 4], [-1, 1])
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        row = rng.integers(0, 2, size=32, dtype=np.uint8)
+        cols = sorted(rng.choice(32, size=4, replace=False).tolist())
+        dists = [-3, -1, 1, 3]
+
+        def brute():
+            for c in cols:
+                for pol in (0, 1):
+                    if row[c] != pol:
+                        continue
+                    neigh = [row[c + d] for d in dists
+                             if 0 <= c + d < 32]
+                    if all(v != pol for v in neigh):
+                        return True
+            return False
+
+        assert row_matches_worst_case(row, cols, dists) == brute()
+
+
+class TestVulnerableRow:
+    def test_wraps_matcher(self):
+        vr = VulnerableRow([4], [-2, 2], row_bits=8)
+        assert vr.matches(content([0, 0, 0, 0, 1, 0, 0, 0]))
+        assert not vr.matches(content([0] * 8))
+
+    def test_empty_distances_rejected(self):
+        with pytest.raises(ValueError):
+            VulnerableRow([4], [0], row_bits=8)
+
+
+class TestVulnerabilityMap:
+    def test_groups_by_row(self):
+        detected = {(0, 0, 3, 10), (0, 0, 3, 20), (0, 1, 7, 5)}
+        vmap = build_vulnerability_map(detected, distances=[-1, 1],
+                                       row_bits=64)
+        assert set(vmap) == {(0, 0, 3), (0, 1, 7)}
+        assert list(vmap[(0, 0, 3)].columns) == [10, 20]

@@ -1,0 +1,64 @@
+"""Retention profiling: RAIDR's row bins from actual screening."""
+
+import numpy as np
+import pytest
+
+from repro.core import controllers_for
+from repro.dcref import profile_retention
+from repro.dram import vendor
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return vendor("A").make_chip(seed=5, n_rows=128)
+
+
+class TestProfiling:
+    def test_fraction_near_raidr_value(self, chip):
+        prof = profile_retention(controllers_for(chip),
+                                 interval_s=0.256)
+        # RAIDR's profiled fleet fraction is 16.4%; our chips land in
+        # the same band.
+        assert 0.05 <= prof.weak_row_fraction() <= 0.30
+
+    def test_shorter_interval_qualifies_more_rows(self, chip):
+        ctrls = controllers_for(chip)
+        at_256 = profile_retention(ctrls, interval_s=0.256)
+        at_1000 = profile_retention(ctrls, interval_s=1.0)
+        assert at_256.weak_row_fraction() \
+            <= at_1000.weak_row_fraction()
+
+    def test_conditions_restored(self, chip):
+        profile_retention(controllers_for(chip), interval_s=0.256)
+        assert chip.banks[0].stress == 1.0
+        assert chip.refresh_interval_s == 4.0
+
+    def test_coupled_cells_do_not_pollute_bins(self):
+        """Solid backgrounds cannot trigger data-dependent failures,
+        so profiling sees only true retention weakness."""
+        from repro.dram import CouplingSpec, DramChip, FaultSpec
+        profile = vendor("A")
+        chip = DramChip(mapping=profile.mapping(8192), n_rows=64,
+                        coupling_spec=CouplingSpec(n_cells=5000),
+                        fault_spec=FaultSpec(soft_error_rate=0.0),
+                        seed=3)
+        prof = profile_retention(controllers_for(chip),
+                                 interval_s=0.256)
+        assert prof.weak_row_fraction() == 0.0
+
+    def test_mask_array_shape(self, chip):
+        prof = profile_retention(controllers_for(chip),
+                                 interval_s=0.256)
+        mask = prof.mask_array(n_chips=1, n_banks=1, n_rows=128)
+        assert mask.shape == (1, 1, 128)
+        assert mask.sum() == sum(int(m.sum())
+                                 for m in prof.weak_rows.values())
+
+    def test_test_budget_counted(self, chip):
+        prof = profile_retention(controllers_for(chip),
+                                 interval_s=0.256, rounds=3)
+        assert prof.tests == 6  # 3 rounds x 2 polarities
+
+    def test_requires_controllers(self):
+        with pytest.raises(ValueError):
+            profile_retention([], interval_s=0.256)

@@ -1,0 +1,61 @@
+"""RAIDR binning and the Figure 16 experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.dcref import (bins_from_failures, retention_bins, run_fig16,
+                         weak_row_fraction)
+from repro.sim import DEFAULT_CONFIG_32G
+
+
+class TestRaidrBins:
+    def test_fraction_respected(self):
+        bins = retention_bins(100_000, 0.164, np.random.default_rng(0))
+        assert weak_row_fraction(bins) == pytest.approx(0.164, abs=0.01)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            retention_bins(10, 1.5, np.random.default_rng(0))
+
+    def test_bins_from_failures(self):
+        detected = {(0, 0, 3, 10), (0, 0, 3, 55), (1, 0, 7, 2)}
+        mask = bins_from_failures(detected, n_chips=2, n_banks=1,
+                                  n_rows=16)
+        assert mask.shape == (2, 1, 16)
+        assert mask[0, 0, 3] and mask[1, 0, 7]
+        assert mask.sum() == 2
+
+    def test_empty_mask_fraction(self):
+        assert weak_row_fraction(np.zeros((0,), dtype=bool)) == 0.0
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_fig16(n_workloads=3, config=DEFAULT_CONFIG_32G,
+                         seed=7, n_instructions=30_000)
+
+    def test_policy_ordering(self, summary):
+        assert summary.mean_improvement("dcref") \
+            > summary.mean_improvement("raidr") > 0
+
+    def test_refresh_reduction_near_paper(self, summary):
+        # Paper Section 8: DC-REF cuts refreshes by 73% vs baseline
+        # and 27.6% vs RAIDR.
+        assert summary.mean_refresh_reduction("dcref") \
+            == pytest.approx(73.0, abs=2.0)
+        assert summary.mean_refresh_reduction("dcref", "raidr") \
+            == pytest.approx(27.6, abs=2.5)
+
+    def test_high_rate_fractions_near_paper(self, summary):
+        # 2.7% of rows hot under DC-REF vs RAIDR's fixed 16.4%.
+        assert summary.mean_high_rate_fraction("dcref") \
+            == pytest.approx(0.027, abs=0.01)
+        assert summary.mean_high_rate_fraction("raidr") \
+            == pytest.approx(0.164, abs=0.001)
+
+    def test_outcome_accessors(self, summary):
+        outcome = summary.outcomes[0]
+        assert len(outcome.apps) == 8
+        assert outcome.improvement("baseline") == 0.0
+        assert outcome.refresh_reduction("baseline") == 0.0

@@ -1,0 +1,132 @@
+"""Bank storage: scrambling, polarity, and retention-read semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (Bank, CoupledCellPopulation, CouplingSpec,
+                        FaultSpec, NO_NEIGHBOUR, RandomFaultModel,
+                        identity_mapping, vendor)
+from repro.dram.cells import MAX_CONTEXT
+
+
+def quiet_bank(mapping=None, n_rows=8, coupled=None, anti=None, seed=0):
+    """A bank with no fault populations unless provided."""
+    mapping = mapping or identity_mapping(64, tile_bits=64)
+    rng = np.random.default_rng(seed)
+    if coupled is None:
+        empty = np.empty(0, dtype=np.int64)
+        coupled = CoupledCellPopulation(
+            row=empty, phys=empty.copy(), left_phys=empty.copy(),
+            right_phys=empty.copy(), w_left=np.empty(0),
+            w_right=np.empty(0), p_fail=np.empty(0))
+    faults = RandomFaultModel(FaultSpec(soft_error_rate=0.0),
+                              n_rows=n_rows, row_bits=mapping.row_bits,
+                              rng=rng)
+    return Bank(mapping=mapping, n_rows=n_rows, coupled=coupled,
+                faults=faults, rng=rng, anti_rows=anti)
+
+
+class TestReadWrite:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_row(self, seed, row):
+        bank = quiet_bank()
+        data = np.random.default_rng(seed).integers(
+            0, 2, size=64, dtype=np.uint8)
+        bank.write_row(row, data)
+        assert np.array_equal(bank.read_row(row), data)
+
+    def test_roundtrip_with_vendor_scrambling(self):
+        mapping = vendor("A").mapping(8192)
+        bank = quiet_bank(mapping=mapping)
+        data = np.random.default_rng(1).integers(0, 2, size=8192,
+                                                 dtype=np.uint8)
+        bank.write_row(3, data)
+        assert np.array_equal(bank.read_row(3), data)
+
+    def test_anti_rows_store_inverted_charge(self):
+        anti = np.array([False, True] * 4)
+        bank = quiet_bank(anti=anti)
+        data = np.ones(64, dtype=np.uint8)
+        bank.write_rows(np.arange(8), data)
+        # True rows: charge == data; anti rows: inverted.
+        assert (bank.charge[0] == 1).all()
+        assert (bank.charge[1] == 0).all()
+        # Read-back is polarity-corrected either way.
+        assert np.array_equal(bank.read_row(1), data)
+
+    def test_write_all_broadcasts(self):
+        bank = quiet_bank()
+        bank.write_all(np.ones(64, dtype=np.uint8))
+        for row in range(8):
+            assert bank.read_row(row).all()
+
+    def test_shape_validation(self):
+        bank = quiet_bank()
+        with pytest.raises(ValueError):
+            bank.write_row(0, np.ones(32, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            bank.write_row(99, np.ones(64, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            bank.read_row(-1)
+
+
+def one_victim_bank(anti=None):
+    """Victim at row 0, phys 5 (strongly left-coupled), linear map."""
+    pop = CoupledCellPopulation(
+        row=np.array([0]), phys=np.array([5]),
+        left_phys=np.array([4]), right_phys=np.array([6]),
+        w_left=np.array([1.5]), w_right=np.array([0.1]),
+        p_fail=np.array([1.0]))
+    return quiet_bank(coupled=pop, anti=anti)
+
+
+class TestRetention:
+    def test_uniform_data_yields_no_failures(self):
+        bank = one_victim_bank()
+        bank.write_all(np.zeros(64, dtype=np.uint8))
+        rows, cols = bank.retention_failures()
+        assert len(rows) == 0
+
+    def test_worst_case_flips_victim(self):
+        bank = one_victim_bank(anti=np.zeros(8, dtype=bool))
+        data = np.ones(64, dtype=np.uint8)
+        data[4] = 0
+        bank.write_all(data)
+        rows, cols = bank.retention_failures()
+        assert list(zip(rows.tolist(), cols.tolist())) == [(0, 5)]
+
+    def test_retention_read_shows_flip(self):
+        bank = one_victim_bank(anti=np.zeros(8, dtype=bool))
+        data = np.ones(64, dtype=np.uint8)
+        data[4] = 0
+        bank.write_rows(np.array([0]), data)
+        observed = bank.retention_read_rows(np.array([0]))
+        assert observed[0, 5] == 0          # flipped
+        assert observed[0, 7] == 1          # everything else intact
+
+    def test_anti_row_victim_needs_inverse_pattern(self):
+        bank = one_victim_bank(anti=np.ones(8, dtype=bool))
+        data = np.ones(64, dtype=np.uint8)
+        data[4] = 0
+        bank.write_all(data)
+        # On an anti row the victim's charge is 0 -> no failure.
+        rows, _ = bank.retention_failures()
+        assert len(rows) == 0
+        # The inverse pattern charges the victim -> failure.
+        bank.write_all(1 - data)
+        rows, cols = bank.retention_failures()
+        assert list(zip(rows.tolist(), cols.tolist())) == [(0, 5)]
+
+    def test_retention_read_all_matches_failures(self):
+        bank = one_victim_bank(anti=np.zeros(8, dtype=bool))
+        data = np.ones(64, dtype=np.uint8)
+        data[4] = 0
+        bank.write_all(data)
+        observed = bank.retention_read_all()
+        assert observed[0, 5] == 0
+        # Rows without victims read back exactly.
+        assert np.array_equal(observed[3], data)

@@ -1,0 +1,106 @@
+"""Chips, modules, and the controller test interface."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (DramModule, MemoryController, make_module,
+                        make_test_fleet, vendor)
+
+
+class TestChip:
+    def test_geometry(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=32)
+        assert chip.n_rows == 32
+        assert chip.row_bits == 8192
+        assert chip.n_cells == 32 * 8192
+
+    def test_multiple_banks_are_independent(self):
+        chip = vendor("B").make_chip(seed=0, n_rows=16, n_banks=2)
+        a, b = chip.banks
+        assert a is not b
+        assert not np.array_equal(a.coupled.phys, b.coupled.phys)
+
+    def test_bank_index_validated(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        with pytest.raises(ValueError):
+            chip.bank(5)
+
+    def test_coupled_cell_counts_partition(self):
+        chip = vendor("C").make_chip(seed=1, n_rows=16)
+        total = chip.coupled_cell_count()
+        strong = chip.coupled_cell_count(strong=True)
+        weak = chip.coupled_cell_count(strong=False)
+        assert total == strong + weak > 0
+
+    def test_ground_truth_distances(self):
+        chip = vendor("C").make_chip(seed=0, n_rows=16)
+        assert {abs(d) for d in chip.ground_truth_distances()} \
+            == {16, 33, 49}
+
+    def test_vulnerability_scales_population(self):
+        low = vendor("A").make_chip(seed=5, n_rows=16, vulnerability=0.5)
+        high = vendor("A").make_chip(seed=5, n_rows=16, vulnerability=2.0)
+        assert high.coupled_cell_count() > 2 * low.coupled_cell_count()
+
+
+class TestModule:
+    def test_module_shape(self):
+        module = make_module("A", 1, seed=3, n_rows=16)
+        assert len(module) == 8
+        assert module.module_id == "A1"
+        assert module.n_cells == 8 * 16 * 8192
+
+    def test_fleet_matches_paper_scale(self):
+        fleet = make_test_fleet(modules_per_vendor=2, seed=1, n_rows=16)
+        modules = [m for mods in fleet.values() for m in mods]
+        assert len(modules) == 6
+        assert sum(len(m) for m in modules) == 48   # chips
+
+    def test_module_requires_uniform_geometry(self):
+        a = vendor("A").make_chip(seed=0, n_rows=16)
+        b = vendor("A").make_chip(seed=0, n_rows=16, row_bits=4096)
+        with pytest.raises(ValueError):
+            DramModule("bad", [a, b])
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(ValueError):
+            DramModule("empty", [])
+
+    def test_unknown_vendor_rejected(self):
+        with pytest.raises(ValueError):
+            vendor("Z")
+
+
+class TestController:
+    def test_stats_accounting(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        ctrl = MemoryController(chip)
+        ctrl.test_pattern(np.zeros(8192, dtype=np.uint8))
+        assert ctrl.stats.tests == 1
+        assert ctrl.stats.rows_written == 16
+        assert ctrl.stats.rows_read == 16
+        assert ctrl.stats.retention_waits == 1
+
+    def test_test_rows_counts_one_test(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        ctrl = MemoryController(chip)
+        rows = np.array([1, 5, 9])
+        out = ctrl.test_rows(0, rows, np.ones(8192, dtype=np.uint8))
+        assert out.shape == (3, 8192)
+        assert ctrl.stats.tests == 1
+        assert ctrl.stats.rows_written == 3
+
+    def test_estimated_time_dominated_by_retention(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        ctrl = MemoryController(chip)
+        ctrl.test_pattern(np.zeros(8192, dtype=np.uint8))
+        t_ns = ctrl.stats.estimated_time_ns()
+        assert t_ns >= 64e6   # at least one 64 ms retention wait
+
+    def test_write_then_read_roundtrip(self):
+        chip = vendor("B").make_chip(seed=0, n_rows=16)
+        ctrl = MemoryController(chip)
+        data = np.random.default_rng(0).integers(0, 2, size=8192,
+                                                 dtype=np.uint8)
+        ctrl.write_row(0, 3, data)
+        assert np.array_equal(ctrl.read_row(0, 3), data)

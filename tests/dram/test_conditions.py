@@ -1,0 +1,69 @@
+"""Operating conditions: temperature and refresh-interval stress."""
+
+import numpy as np
+import pytest
+
+from repro.dram import CouplingSpec, MemoryController, vendor
+from repro.core import random_pattern
+
+
+def failures_at(chip, temperature_c=45.0, interval_s=4.0, seed=0):
+    chip.set_conditions(temperature_c=temperature_c,
+                        refresh_interval_s=interval_s)
+    ctrl = MemoryController(chip)
+    rng = np.random.default_rng(seed)
+    total = 0
+    for _ in range(8):
+        per_bank = ctrl.test_pattern(random_pattern(chip.row_bits, rng))
+        total += sum(len(r) for r, _ in per_bank)
+    return total
+
+
+class TestStressModel:
+    def test_default_stress_is_one(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=32)
+        assert chip.banks[0].stress == 1.0
+        assert chip.set_conditions() == pytest.approx(1.0)
+
+    def test_stress_formula(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        assert chip.set_conditions(55.0, 4.0) == pytest.approx(2.0)
+        assert chip.set_conditions(45.0, 2.0) == pytest.approx(0.5)
+        assert chip.set_conditions(35.0, 8.0) == pytest.approx(1.0)
+
+    def test_invalid_interval_rejected(self):
+        chip = vendor("A").make_chip(seed=0, n_rows=16)
+        with pytest.raises(ValueError):
+            chip.set_conditions(refresh_interval_s=0.0)
+
+    def test_hotter_means_more_failures(self):
+        chip = vendor("C").make_chip(seed=4, n_rows=64)
+        cold = failures_at(chip, temperature_c=40.0)
+        nominal = failures_at(chip, temperature_c=45.0)
+        hot = failures_at(chip, temperature_c=50.0)
+        assert cold < nominal <= hot * 1.05
+        assert cold < hot
+
+    def test_longer_interval_means_more_failures(self):
+        chip = vendor("C").make_chip(seed=4, n_rows=64)
+        short = failures_at(chip, interval_s=1.0)
+        nominal = failures_at(chip, interval_s=4.0)
+        assert short < nominal
+
+    def test_min_stress_range_respected(self):
+        spec = CouplingSpec(n_cells=10, min_stress_range=(0.9, 1.0))
+        assert spec.min_stress_range == (0.9, 1.0)
+
+
+class TestTemperatureInvariance:
+    def test_neighbour_locations_independent_of_temperature(self):
+        """Paper Section 6: 'We find that neighbor locations determined
+        by PARBOR are not dependent on temperature.'"""
+        from repro.analysis import temperature_sensitivity
+        results = temperature_sensitivity("A", temperatures_c=(40.0, 45.0,
+                                                               50.0),
+                                          seed=17, n_rows=96,
+                                          sample_size=1500)
+        mags = {t: tuple(r.magnitudes()) for t, r in results.items()}
+        assert mags[45.0] == (8, 16, 48)
+        assert mags[40.0] == mags[45.0] == mags[50.0]

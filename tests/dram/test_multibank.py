@@ -1,0 +1,92 @@
+"""Multi-bank chips and second-order mapping queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParborConfig, run_parbor
+from repro.dram import MemoryController, vendor
+
+
+class TestMultiBank:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return vendor("A").make_chip(seed=9, n_rows=48, n_banks=2)
+
+    def test_controller_covers_all_banks(self, chip):
+        ctrl = MemoryController(chip)
+        fails = ctrl.test_pattern(np.zeros(8192, dtype=np.uint8))
+        assert len(fails) == 2
+        assert ctrl.stats.rows_written == 2 * 48
+
+    def test_bank_local_coordinates(self, chip):
+        ctrl = MemoryController(chip)
+        data = np.random.default_rng(0).integers(0, 2, 8192,
+                                                 dtype=np.uint8)
+        ctrl.write_row(1, 5, data)
+        assert np.array_equal(ctrl.read_row(1, 5), data)
+        # Bank 0's row 5 is untouched by bank 1's write.
+        assert not np.array_equal(ctrl.read_row(0, 5), data) \
+            or chip.banks[0].charge[5].sum() in (0, 8192)
+
+    def test_campaign_spans_banks(self, chip):
+        result = run_parbor(chip, ParborConfig(sample_size=800), seed=3,
+                            run_sweep=False)
+        banks_in_sample = set(result.sample.bank.tolist())
+        assert banks_in_sample == {0, 1}
+        assert result.magnitudes() == [8, 16, 48]
+
+
+class TestSecondOrderMappingQueries:
+    def test_vendor_a_second_order(self):
+        mapping = vendor("A").mapping(8192)
+        second = set(mapping.distance_magnitudes(order=2))
+        # Sums of consecutive unit steps {+-1, +-2, +-6} x 8, minus
+        # anything equal to a first-order distance.
+        assert second
+        assert all(m % 8 == 0 for m in second)
+        first = set(mapping.distance_magnitudes(order=1))
+        assert not (second & first) or second != first
+
+    def test_vendor_c_second_order_excludes_first(self):
+        mapping = vendor("C").mapping(8192)
+        first = mapping.neighbour_distance_set(order=1)
+        second = mapping.neighbour_distance_set(order=2)
+        # Composed distances exist and the sets are sign-symmetric.
+        assert second
+        assert {-d for d in second} == set(second)
+
+    def test_order_three_exists(self):
+        mapping = vendor("B").mapping(8192)
+        third = mapping.distance_magnitudes(order=3)
+        assert third  # e.g. 62/66 from +-1, +-64 compositions
+
+    def test_order_beyond_tile_empty(self):
+        from repro.dram import identity_mapping
+        mapping = identity_mapping(16, tile_bits=8)
+        assert mapping.neighbour_distance_set(order=8) == []
+
+
+class TestCustomVendor:
+    def test_custom_distance_set_recovered(self):
+        from repro.core import ParborConfig, run_parbor
+        from repro.dram import custom_vendor
+        v = custom_vendor("X", steps=(3, 11, 27), block_bits=256)
+        assert v.expected_magnitudes == (3, 11, 27)
+        chip = v.make_chip(seed=2, n_rows=96)
+        assert {abs(d) for d in chip.ground_truth_distances()} \
+            == {3, 11, 27}
+        res = run_parbor(chip,
+                         ParborConfig(sample_size=1500,
+                                      ranking_threshold=0.04),
+                         seed=1, run_sweep=False)
+        assert res.magnitudes() == [3, 11, 27]
+
+    def test_shadowing_builtin_rejected(self):
+        from repro.dram import custom_vendor
+        with pytest.raises(ValueError):
+            custom_vendor("a", steps=(3,))
+
+    def test_empty_steps_rejected(self):
+        from repro.dram import custom_vendor
+        with pytest.raises(ValueError):
+            custom_vendor("X", steps=(0,))

@@ -1,0 +1,76 @@
+"""Redundant-column remapping."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (CoupledCellPopulation, CouplingSpec, NO_NEIGHBOUR,
+                        apply_column_remapping, identity_mapping)
+
+
+def make_pop(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    return CoupledCellPopulation.generate(
+        CouplingSpec(n_cells=n), n_rows=32, row_bits=1024, tile_bits=128,
+        rng=rng)
+
+
+class TestRemap:
+    def test_fraction_remapped(self):
+        pop = make_pop(2000)
+        mapping = identity_mapping(1024, tile_bits=128)
+        k = apply_column_remapping(pop, mapping, fraction=0.25,
+                                   rng=np.random.default_rng(1))
+        assert k == int(pop.remapped.sum())
+        assert 0.18 <= k / 2000 <= 0.32
+
+    def test_zero_fraction_is_noop(self):
+        pop = make_pop()
+        mapping = identity_mapping(1024, tile_bits=128)
+        k = apply_column_remapping(pop, mapping, fraction=0.0,
+                                   rng=np.random.default_rng(1))
+        assert k == 0
+        assert not pop.remapped.any()
+
+    def test_remapped_aggressors_stay_in_tile(self):
+        pop = make_pop(2000)
+        mapping = identity_mapping(1024, tile_bits=128)
+        apply_column_remapping(pop, mapping, fraction=0.5,
+                               rng=np.random.default_rng(2))
+        m = pop.remapped
+        assert (pop.left_phys[m] // 128 == pop.phys[m] // 128).all()
+        assert (pop.right_phys[m] // 128 == pop.phys[m] // 128).all()
+
+    def test_remapped_aggressors_differ_from_victim(self):
+        pop = make_pop(2000)
+        mapping = identity_mapping(1024, tile_bits=128)
+        apply_column_remapping(pop, mapping, fraction=0.5,
+                               rng=np.random.default_rng(3))
+        m = pop.remapped
+        assert (pop.left_phys[m] != pop.phys[m]).all()
+        assert (pop.right_phys[m] != pop.phys[m]).all()
+        assert (pop.left_phys[m] != pop.right_phys[m]).all()
+
+    def test_remap_clears_context(self):
+        pop = make_pop(2000)
+        mapping = identity_mapping(1024, tile_bits=128)
+        apply_column_remapping(pop, mapping, fraction=1.0,
+                               rng=np.random.default_rng(4))
+        assert (pop.context == NO_NEIGHBOUR).all()
+
+    def test_invalid_fraction_rejected(self):
+        pop = make_pop(10)
+        mapping = identity_mapping(1024, tile_bits=128)
+        with pytest.raises(ValueError):
+            apply_column_remapping(pop, mapping, fraction=1.5,
+                                   rng=np.random.default_rng(0))
+
+    def test_empty_population_is_noop(self):
+        empty = np.empty(0, dtype=np.int64)
+        pop = CoupledCellPopulation(
+            row=empty, phys=empty.copy(), left_phys=empty.copy(),
+            right_phys=empty.copy(), w_left=np.empty(0),
+            w_right=np.empty(0), p_fail=np.empty(0))
+        mapping = identity_mapping(1024, tile_bits=128)
+        assert apply_column_remapping(
+            pop, mapping, fraction=0.5,
+            rng=np.random.default_rng(0)) == 0

@@ -1,0 +1,54 @@
+"""DDR3 timing parameters and the appendix time arithmetic."""
+
+import pytest
+
+from repro.dram import DDR3_1600, DramTiming, t_rfc_ns
+
+
+class TestRowCycle:
+    def test_two_block_access_matches_appendix(self):
+        # Appendix formula: t_RCD + t_CCD * 2 + t_RP = 13.75 + 10 +
+        # 13.75 = 37.5 ns. (The paper prints "42.5" but its own
+        # full-row case - 13.75 + 5*128 + 13.75 = 667.5 - confirms the
+        # formula; 42.5 is an arithmetic slip in the paper.)
+        assert DDR3_1600.two_block_access_ns() == pytest.approx(37.5)
+
+    def test_full_row_access_matches_appendix(self):
+        # Appendix: 13.75 + 5 * 128 + 13.75 = 667.5 ns for an 8 KB row.
+        assert DDR3_1600.full_row_access_ns(8192) == pytest.approx(667.5)
+
+    def test_row_cycle_scales_with_bursts(self):
+        one = DDR3_1600.row_cycle_ns(1)
+        ten = DDR3_1600.row_cycle_ns(10)
+        assert ten - one == pytest.approx(9 * DDR3_1600.t_ccd_ns)
+
+    def test_zero_bursts_rejected(self):
+        with pytest.raises(ValueError):
+            DDR3_1600.row_cycle_ns(0)
+
+    def test_partial_block_row_rejected(self):
+        with pytest.raises(ValueError):
+            DDR3_1600.full_row_access_ns(row_bytes=100, block_bytes=64)
+
+
+class TestTrfc:
+    def test_paper_densities(self):
+        # Footnote 6: 590 ns at 16 Gbit, 1 us at 32 Gbit.
+        assert t_rfc_ns(16) == pytest.approx(590.0)
+        assert t_rfc_ns(32) == pytest.approx(1000.0)
+
+    def test_trfc_monotone_in_density(self):
+        values = [t_rfc_ns(d) for d in (1, 2, 4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_unknown_density_rejected(self):
+        with pytest.raises(ValueError):
+            t_rfc_ns(3)
+
+
+class TestCustomTiming:
+    def test_custom_refresh_interval(self):
+        timing = DramTiming(refresh_interval_ms=32.0)
+        assert timing.refresh_interval_ms == 32.0
+        # Other defaults unchanged.
+        assert timing.t_rcd_ns == DDR3_1600.t_rcd_ns

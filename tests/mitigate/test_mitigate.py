@@ -1,0 +1,95 @@
+"""Mitigation mechanisms over PARBOR failure maps."""
+
+import pytest
+
+from repro.core import ParborConfig, run_parbor
+from repro.dram import vendor
+from repro.mitigate import (SecDedCode, compare_mitigations,
+                            ecc_coverage, row_retirement)
+
+
+class TestEcc:
+    def test_single_error_words_correctable(self):
+        detected = {(0, 0, 0, 5), (0, 0, 0, 70), (0, 0, 1, 200)}
+        report = ecc_coverage(detected)
+        # Columns 5 (word 0), 70 (word 1), 200 (word 3): all singles.
+        assert report.words_with_failures == 3
+        assert report.correctable_words == 3
+        assert report.coverage == 1.0
+
+    def test_double_error_word_uncorrectable(self):
+        detected = {(0, 0, 0, 5), (0, 0, 0, 60)}   # both in word 0
+        report = ecc_coverage(detected)
+        assert report.uncorrectable_words == 1
+        assert report.coverage == 0.0
+
+    def test_word_grouping_respects_row_and_bank(self):
+        detected = {(0, 0, 0, 5), (0, 1, 0, 5), (0, 0, 1, 5)}
+        report = ecc_coverage(detected)
+        assert report.words_with_failures == 3
+        assert report.coverage == 1.0
+
+    def test_storage_overhead(self):
+        assert SecDedCode().storage_overhead == 0.125
+        assert ecc_coverage(set()).coverage == 1.0
+
+    def test_wider_words_group_more_errors(self):
+        detected = {(0, 0, 0, 5), (0, 0, 0, 120)}
+        narrow = ecc_coverage(detected, SecDedCode(data_bits=64))
+        wide = ecc_coverage(detected, SecDedCode(data_bits=128,
+                                                 check_bits=9))
+        assert narrow.uncorrectable_words == 0
+        assert wide.uncorrectable_words == 1
+
+
+class TestRetirement:
+    def test_rows_counted_once(self):
+        detected = {(0, 0, 3, 5), (0, 0, 3, 99), (0, 0, 7, 1)}
+        report = row_retirement(detected, n_chips=1, n_banks=1,
+                                n_rows=64)
+        assert report.retired_rows == 2
+        assert report.capacity_overhead == pytest.approx(2 / 64)
+
+    def test_spares_absorb_retirement(self):
+        detected = {(0, 0, 3, 5), (0, 0, 7, 1)}
+        report = row_retirement(detected, 1, 1, 64, spare_rows=4)
+        assert report.within_spares
+        assert report.capacity_overhead == 0.0
+
+    def test_empty_map(self):
+        report = row_retirement(set(), 1, 1, 64)
+        assert report.retired_rows == 0
+        assert report.capacity_overhead == 0.0
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        chip = vendor("A").make_chip(seed=17, n_rows=64,
+                                     vulnerability=0.3)
+        result = run_parbor(chip, ParborConfig(sample_size=800), seed=2)
+        return chip, result
+
+    def test_report_structure(self, campaign):
+        chip, result = campaign
+        report = compare_mitigations(chip, result)
+        mechanisms = [r.mechanism for r in report.rows]
+        assert len(mechanisms) == 3
+        assert any("ECC" in m for m in mechanisms)
+        rows = report.as_table_rows()
+        assert all(len(r) == 4 for r in rows)
+
+    def test_ecc_covers_most_sparse_failures(self, campaign):
+        chip, result = campaign
+        report = compare_mitigations(chip, result)
+        # Failures are sparse relative to 64-bit words; most words hold
+        # a single vulnerable cell.
+        assert report.ecc.coverage > 0.7
+
+    def test_retirement_total_but_costly(self, campaign):
+        chip, result = campaign
+        report = compare_mitigations(chip, result)
+        retire_row = next(r for r in report.rows
+                          if "retirement" in r.mechanism)
+        assert retire_row.coverage == 1.0
+        assert retire_row.overhead > 0.0

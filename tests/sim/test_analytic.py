@@ -1,0 +1,63 @@
+"""Closed-form refresh model, and its agreement with the engine."""
+
+import pytest
+
+from repro.sim import (DEFAULT_CONFIG_32G, app, blocking_fraction,
+                       expected_refresh_wait_cycles, make_policy,
+                       refresh_reduction, simulate,
+                       throughput_speedup_bound)
+
+
+class TestFormulas:
+    def test_baseline_blocking_matches_trfc_ratio(self):
+        base = make_policy("baseline", DEFAULT_CONFIG_32G)
+        assert blocking_fraction(base) == pytest.approx(0.128, rel=0.01)
+
+    def test_dcref_blocking_scaled_by_work(self):
+        base = make_policy("baseline", DEFAULT_CONFIG_32G)
+        dcref = make_policy("dcref", DEFAULT_CONFIG_32G)
+        ratio = blocking_fraction(dcref) / blocking_fraction(base)
+        assert ratio == pytest.approx(dcref.work_fraction(), rel=1e-6)
+
+    def test_throughput_bound_above_one(self):
+        base = make_policy("baseline", DEFAULT_CONFIG_32G)
+        dcref = make_policy("dcref", DEFAULT_CONFIG_32G)
+        bound = throughput_speedup_bound(dcref, base)
+        assert 1.05 < bound < 1.20
+
+    def test_expected_wait_quadratic_in_block(self):
+        base = make_policy("baseline", DEFAULT_CONFIG_32G)
+        raidr = make_policy("raidr", DEFAULT_CONFIG_32G)
+        w_base = expected_refresh_wait_cycles(base)
+        w_raidr = expected_refresh_wait_cycles(raidr)
+        expected_ratio = raidr.work_fraction() ** 2
+        assert w_raidr / w_base == pytest.approx(expected_ratio,
+                                                 rel=1e-6)
+
+    def test_refresh_reduction_paper_values(self):
+        base = make_policy("baseline", DEFAULT_CONFIG_32G)
+        raidr = make_policy("raidr", DEFAULT_CONFIG_32G)
+        dcref = make_policy("dcref", DEFAULT_CONFIG_32G)
+        assert refresh_reduction(raidr, base) == pytest.approx(0.627,
+                                                               abs=0.002)
+        assert refresh_reduction(dcref, base) == pytest.approx(0.73,
+                                                               abs=0.01)
+
+
+class TestEngineAgreement:
+    def test_engine_speedup_within_analytic_bound(self):
+        """The first-order engine cannot beat the bandwidth bound by
+        more than simulation noise."""
+        profiles = [app("mcf"), app("lbm"), app("libquantum"),
+                    app("soplex")]
+        cfg = DEFAULT_CONFIG_32G
+        base_pol = make_policy("baseline", cfg)
+        dcref_pol = make_policy("dcref", cfg)
+        bound = throughput_speedup_bound(dcref_pol, base_pol)
+
+        base = simulate(profiles, make_policy("baseline", cfg), cfg,
+                        seed=3, n_instructions=60_000)
+        fast = simulate(profiles, make_policy("dcref", cfg), cfg,
+                        seed=3, n_instructions=60_000)
+        speedup = sum(fast.ipcs) / sum(base.ipcs)
+        assert 1.0 < speedup <= bound * 1.05

@@ -1,0 +1,73 @@
+"""Trace-driven core model unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DEFAULT_CONFIG_32G, app
+from repro.sim.cpu import Core, CoreResult
+from repro.sim.traces import Trace
+
+
+def manual_trace(gaps, banks=None, total=None):
+    n = len(gaps)
+    return Trace(inst_gaps=np.asarray(gaps, dtype=np.int64),
+                 banks=np.asarray(banks or [0] * n, dtype=np.int64),
+                 rows=np.zeros(n, dtype=np.int64),
+                 row_hits=np.zeros(n, dtype=bool),
+                 is_write=np.zeros(n, dtype=bool),
+                 match_draws=np.zeros(n),
+                 total_instructions=total or int(sum(gaps)))
+
+
+def make_core(gaps, mlp=2.0, ipc=2.0):
+    profile = app("gcc")
+    profile = type(profile)(name="x", mpki=profile.mpki,
+                            row_locality=0.5, write_frac=0.2, mlp=mlp,
+                            ipc_base=ipc, worst_match_prob=0.1)
+    return Core(0, profile, manual_trace(gaps), DEFAULT_CONFIG_32G)
+
+
+class TestCore:
+    def test_gap_converts_at_base_ipc(self):
+        core = make_core([100], ipc=2.0)
+        assert core.next_issue_time() == 50
+
+    def test_issue_advances_clock(self):
+        core = make_core([100, 100], ipc=2.0)
+        core.record_issue(50, 500)
+        assert core.next_issue_time() == 100
+
+    def test_mlp_window_blocks(self):
+        core = make_core([10, 10, 10], mlp=2.0, ipc=1.0)
+        core.record_issue(10, 1000)
+        core.record_issue(20, 2000)
+        # Window of 2 full: next issue gated by the oldest completion.
+        assert core.next_issue_time() == 1000
+
+    def test_finish_time_covers_last_completion(self):
+        core = make_core([10])
+        core.record_issue(10, 999)
+        assert core.done
+        assert core.finish_time == 999
+        result = core.result()
+        assert isinstance(result, CoreResult)
+        assert result.cycles == 999
+
+    def test_result_before_finish_rejected(self):
+        core = make_core([10, 10])
+        with pytest.raises(RuntimeError):
+            core.result()
+
+    def test_issue_past_end_rejected(self):
+        core = make_core([10])
+        core.record_issue(10, 20)
+        with pytest.raises(RuntimeError):
+            core.next_issue_time()
+
+    def test_ipc_property(self):
+        result = CoreResult(app="x", instructions=300, cycles=150)
+        assert result.ipc == 2.0
+
+    def test_window_capped_by_inst_window(self):
+        core = make_core([10], mlp=1000.0)
+        assert core.mlp_window <= DEFAULT_CONFIG_32G.inst_window // 4

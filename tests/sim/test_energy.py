@@ -1,0 +1,63 @@
+"""DDR3 energy model."""
+
+import pytest
+
+from repro.sim import (DEFAULT_CONFIG_32G, EnergyParams, app, energy_of,
+                       make_policy, simulate_detailed)
+
+MIX = [app(n) for n in ("mcf", "lbm", "libquantum", "gcc")]
+
+
+def run(policy_name, seed=3, n=30_000):
+    policy = make_policy(policy_name, DEFAULT_CONFIG_32G, seed=seed)
+    return simulate_detailed(MIX, policy, DEFAULT_CONFIG_32G, seed=seed,
+                             n_instructions=n)
+
+
+class TestEnergy:
+    def test_baseline_refresh_share_is_refresh_wall_scale(self):
+        e = energy_of(run("baseline"), DEFAULT_CONFIG_32G)
+        # At 32 Gbit the refresh wall puts refresh at a large share of
+        # DRAM energy (the paper's refs [46, 62] project 25-50%).
+        assert 0.15 <= e.refresh_share <= 0.5
+
+    def test_policy_energy_ordering(self):
+        base = energy_of(run("baseline"), DEFAULT_CONFIG_32G)
+        raidr = energy_of(run("raidr"), DEFAULT_CONFIG_32G)
+        dcref = energy_of(run("dcref"), DEFAULT_CONFIG_32G)
+        assert dcref.total_uj < raidr.total_uj < base.total_uj
+        assert dcref.refresh_uj < raidr.refresh_uj < base.refresh_uj
+
+    def test_components_sum_to_total(self):
+        e = energy_of(run("baseline"), DEFAULT_CONFIG_32G)
+        assert e.total_uj == pytest.approx(
+            e.activation_uj + e.rw_uj + e.refresh_uj + e.background_uj)
+
+    def test_event_counts_populated_by_detailed_engine(self):
+        result = run("baseline")
+        assert result.n_activations > 0
+        assert result.n_reads + result.n_writes == result.total_requests
+
+    def test_custom_params_scale_components(self):
+        result = run("baseline")
+        cheap = energy_of(result, DEFAULT_CONFIG_32G,
+                          EnergyParams(act_pre_nj=0.0, read_nj=0.0,
+                                       write_nj=0.0,
+                                       refresh_active_w=0.0,
+                                       background_w=1.0))
+        assert cheap.activation_uj == 0.0
+        assert cheap.refresh_uj == 0.0
+        assert cheap.total_uj == pytest.approx(cheap.background_uj)
+
+    def test_refresh_energy_tracks_blocking(self):
+        base = run("baseline")
+        dcref = run("dcref")
+        e_base = energy_of(base, DEFAULT_CONFIG_32G)
+        e_dcref = energy_of(dcref, DEFAULT_CONFIG_32G)
+        # Refresh energy per unit time scales with the work fraction.
+        rate_base = e_base.refresh_uj / max(c.cycles
+                                            for c in base.cores)
+        rate_dcref = e_dcref.refresh_uj / max(c.cycles
+                                              for c in dcref.cores)
+        assert rate_dcref / rate_base == pytest.approx(
+            dcref.avg_work_fraction / base.avg_work_fraction, rel=0.05)

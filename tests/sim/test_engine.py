@@ -1,0 +1,119 @@
+"""The event-driven engine: ordering, determinism, refresh effects."""
+
+import pytest
+
+from repro.sim import (DEFAULT_CONFIG_16G, DEFAULT_CONFIG_32G, alone_ipc,
+                       app, make_policy, simulate, weighted_speedup,
+                       harmonic_speedup, make_workloads,
+                       workload_profiles)
+from repro.sim.engine import _refresh_adjust
+
+MIXED = [app(n) for n in ("mcf", "libquantum", "gcc", "povray")]
+
+
+def run(policy_name, config=DEFAULT_CONFIG_32G, seed=3, n=40_000,
+        profiles=MIXED):
+    policy = make_policy(policy_name, config, seed=seed)
+    return simulate(profiles, policy, config, seed=seed,
+                    n_instructions=n)
+
+
+class TestRefreshAdjust:
+    def test_inside_blocked_head_is_delayed(self):
+        assert _refresh_adjust(t=10, block_cycles=100, t_refi=1000) == 100
+
+    def test_outside_blocked_head_untouched(self):
+        assert _refresh_adjust(t=500, block_cycles=100, t_refi=1000) == 500
+
+    def test_later_slots(self):
+        assert _refresh_adjust(t=2050, block_cycles=100,
+                               t_refi=1000) == 2100
+
+
+class TestEngine:
+    def test_deterministic(self):
+        a = run("baseline")
+        b = run("baseline")
+        assert a.ipcs == b.ipcs
+        assert a.total_requests == b.total_requests
+
+    def test_policy_ordering_dcref_fastest(self):
+        base = run("baseline")
+        raidr = run("raidr")
+        dcref = run("dcref")
+        assert sum(dcref.ipcs) >= sum(raidr.ipcs) >= sum(base.ipcs)
+
+    def test_refresh_stats_recorded(self):
+        dcref = run("dcref")
+        base = run("baseline")
+        assert dcref.avg_work_fraction < 0.5 * base.avg_work_fraction
+        assert dcref.row_refreshes_per_window \
+            < base.row_refreshes_per_window
+
+    def test_higher_density_hurts_more(self):
+        gain_32 = (sum(run("dcref", DEFAULT_CONFIG_32G).ipcs)
+                   / sum(run("baseline", DEFAULT_CONFIG_32G).ipcs))
+        gain_16 = (sum(run("dcref", DEFAULT_CONFIG_16G).ipcs)
+                   / sum(run("baseline", DEFAULT_CONFIG_16G).ipcs))
+        assert gain_32 > gain_16 > 1.0
+
+    def test_compute_bound_apps_near_base_ipc(self):
+        povray = app("povray")
+        ipc = alone_ipc(povray, make_policy("baseline",
+                                            DEFAULT_CONFIG_32G),
+                        DEFAULT_CONFIG_32G, seed=1, n_instructions=50_000)
+        assert ipc == pytest.approx(povray.ipc_base, rel=0.1)
+
+    def test_memory_bound_apps_well_below_base_ipc(self):
+        mcf = app("mcf")
+        ipc = alone_ipc(mcf, make_policy("baseline", DEFAULT_CONFIG_32G),
+                        DEFAULT_CONFIG_32G, seed=1, n_instructions=50_000)
+        assert ipc < 0.7 * mcf.ipc_base
+
+    def test_contention_slows_sharing(self):
+        heavy = [app("mcf")] * 4
+        shared = simulate(heavy, make_policy("baseline",
+                                             DEFAULT_CONFIG_32G),
+                          DEFAULT_CONFIG_32G, seed=2,
+                          n_instructions=40_000)
+        alone = alone_ipc(app("mcf"),
+                          make_policy("baseline", DEFAULT_CONFIG_32G),
+                          DEFAULT_CONFIG_32G, seed=2,
+                          n_instructions=40_000)
+        assert max(shared.ipcs) <= alone * 1.02
+
+
+class TestMetrics:
+    def test_weighted_speedup_identity(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 2.0
+
+    def test_harmonic_speedup_identity(self):
+        assert harmonic_speedup([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+        with pytest.raises(ValueError):
+            harmonic_speedup([0.0], [1.0])
+
+
+class TestWorkloads:
+    def test_paper_shape(self):
+        mixes = make_workloads()
+        assert len(mixes) == 32
+        assert all(len(m) == 8 for m in mixes)
+
+    def test_names_resolve(self):
+        for mix in make_workloads(n_workloads=4):
+            profiles = workload_profiles(mix)
+            assert len(profiles) == 8
+
+    def test_deterministic(self):
+        assert make_workloads(seed=5) == make_workloads(seed=5)
+        assert make_workloads(seed=5) != make_workloads(seed=6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_workloads(n_workloads=0)

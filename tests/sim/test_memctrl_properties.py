@@ -1,0 +1,109 @@
+"""Property tests: controller invariants under random request streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (ChannelModel, DEFAULT_CONFIG_32G, Request,
+                       make_policy)
+
+
+def random_requests(rng, n, channel_id=0):
+    cfg = DEFAULT_CONFIG_32G
+    banks = [b for b in range(cfg.n_banks_total)
+             if b % cfg.n_channels == channel_id]
+    arrival = 0
+    out = []
+    for _ in range(n):
+        arrival += int(rng.integers(0, 400))
+        out.append(Request(core=int(rng.integers(0, 8)),
+                           bank=int(rng.choice(banks)),
+                           row=int(rng.integers(0, 64)),
+                           is_write=bool(rng.random() < 0.3),
+                           arrival=arrival))
+    return out
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=1, max_value=80))
+@settings(max_examples=25, deadline=None)
+def test_all_requests_complete_after_arrival(seed, n):
+    rng = np.random.default_rng(seed)
+    ch = ChannelModel(0, DEFAULT_CONFIG_32G,
+                      make_policy("baseline", DEFAULT_CONFIG_32G))
+    requests = random_requests(rng, n)
+    for r in requests:
+        ch.enqueue(r)
+    done = ch.drain(2**60)
+    assert len(done) == n
+    for r in done:
+        assert r.completion is not None
+        assert r.completion > r.arrival
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_bus_serialises_transfers(seed):
+    """No two completions can share a data-bus slot."""
+    rng = np.random.default_rng(seed)
+    ch = ChannelModel(0, DEFAULT_CONFIG_32G,
+                      make_policy("baseline", DEFAULT_CONFIG_32G))
+    for r in random_requests(rng, 40):
+        ch.enqueue(r)
+    done = ch.drain(2**60)
+    t_burst = ch.timing.t_burst
+    completions = sorted(r.completion for r in done)
+    for a, b in zip(completions, completions[1:]):
+        assert b - a >= t_burst
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_no_service_inside_refresh_window(seed):
+    """A bank never delivers data while its rank refreshes.
+
+    Data time = completion - t_burst (bus) - so the row access that
+    produced it must have started at or after the rank became ready.
+    """
+    rng = np.random.default_rng(seed)
+    ch = ChannelModel(0, DEFAULT_CONFIG_32G,
+                      make_policy("baseline", DEFAULT_CONFIG_32G))
+    requests = random_requests(rng, 40)
+    for r in requests:
+        ch.enqueue(r)
+    done = ch.drain(2**60)
+    for r in done:
+        lb = ch._local_bank(r.bank)
+        rank = ch._rank_of(lb)
+        # The CAS that produced the data must start outside a window.
+        cas_start = r.completion - ch.timing.t_burst - ch.timing.t_cas
+        start, end = ch._refresh_window(rank, cas_start)
+        assert not (start <= cas_start < end)
+
+
+def test_drain_is_incremental():
+    """Draining in steps serves the same set as draining at once."""
+    rng = np.random.default_rng(7)
+    requests = random_requests(rng, 30)
+
+    ch_once = ChannelModel(0, DEFAULT_CONFIG_32G,
+                           make_policy("baseline", DEFAULT_CONFIG_32G))
+    for r in requests:
+        ch_once.enqueue(r)
+    at_once = {id(r): r.completion for r in ch_once.drain(2**60)}
+
+    ch_steps = ChannelModel(0, DEFAULT_CONFIG_32G,
+                            make_policy("baseline", DEFAULT_CONFIG_32G))
+    import copy
+    requests2 = [copy.replace(r) if hasattr(copy, "replace")
+                 else Request(r.core, r.bank, r.row, r.is_write,
+                              r.arrival, r.match_draw)
+                 for r in requests]
+    for r in requests2:
+        ch_steps.enqueue(r)
+    stepped = []
+    for horizon in range(0, 200_000, 5_000):
+        stepped.extend(ch_steps.drain(horizon))
+    stepped.extend(ch_steps.drain(2**60))
+    assert len(stepped) == len(at_once)

@@ -1,0 +1,70 @@
+"""System configuration (Table 2) and application profiles."""
+
+import pytest
+
+from repro.sim import (DEFAULT_CONFIG_16G, DEFAULT_CONFIG_32G, SPEC_2006,
+                       SystemConfig, app, app_names)
+from repro.sim.apps import AppProfile
+
+
+class TestSystemConfig:
+    def test_table2_defaults(self):
+        cfg = DEFAULT_CONFIG_32G
+        assert cfg.n_cores == 8
+        assert cfg.issue_width == 3
+        assert cfg.inst_window == 128
+        assert cfg.n_channels == 2
+        assert cfg.ranks_per_channel == 2
+        assert cfg.weak_row_fraction == pytest.approx(0.164)
+
+    def test_trfc_per_density(self):
+        # Footnote 6: 590 ns / 1 us at 3.2 GHz.
+        assert DEFAULT_CONFIG_16G.t_rfc_cycles == round(590 * 3.2)
+        assert DEFAULT_CONFIG_32G.t_rfc_cycles == round(1000 * 3.2)
+
+    def test_refresh_blocking_ratio(self):
+        cfg = DEFAULT_CONFIG_32G
+        ratio = cfg.t_rfc_cycles / cfg.t_refi_cycles
+        assert ratio == pytest.approx(0.128, rel=0.01)
+
+    def test_relax_factor(self):
+        assert DEFAULT_CONFIG_32G.relax_factor == 4
+
+    def test_bank_count(self):
+        assert DEFAULT_CONFIG_32G.n_banks_total == 2 * 2 * 8
+
+    def test_miss_slower_than_hit(self):
+        cfg = DEFAULT_CONFIG_32G
+        assert cfg.t_miss_cycles > cfg.t_hit_cycles > cfg.t_bus_cycles
+
+
+class TestApps:
+    def test_seventeen_applications(self):
+        assert len(SPEC_2006) == 17
+        assert len(app_names()) == 17
+
+    def test_known_profiles(self):
+        assert app("mcf").mpki > 50          # famously memory-bound
+        assert app("povray").mpki < 1        # famously compute-bound
+        assert app("libquantum").row_locality > 0.8   # streaming
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            app("doom")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("x", mpki=-1, row_locality=0.5, write_frac=0.2,
+                       mlp=2, ipc_base=1, worst_match_prob=0.1)
+        with pytest.raises(ValueError):
+            AppProfile("x", mpki=1, row_locality=1.5, write_frac=0.2,
+                       mlp=2, ipc_base=1, worst_match_prob=0.1)
+        with pytest.raises(ValueError):
+            AppProfile("x", mpki=1, row_locality=0.5, write_frac=0.2,
+                       mlp=0.5, ipc_base=1, worst_match_prob=0.1)
+
+    def test_fleet_average_match_prob_targets_hot_fraction(self):
+        # 0.164 weak rows x avg match prob ~= 2.7% hot rows (Section 8).
+        avg = sum(p.worst_match_prob for p in SPEC_2006.values()) / 17
+        hot = 0.164 * avg
+        assert 0.02 <= hot <= 0.035

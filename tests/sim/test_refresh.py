@@ -1,0 +1,118 @@
+"""Refresh policies: work fractions and DC-REF content tracking."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (DEFAULT_CONFIG_32G, DcRefPolicy, RaidrRefresh,
+                       UniformRefresh, make_policy)
+
+
+class TestUniform:
+    def test_full_work(self):
+        policy = UniformRefresh(DEFAULT_CONFIG_32G)
+        assert policy.work_fraction() == 1.0
+        assert policy.high_rate_fraction() == 1.0
+
+    def test_row_refreshes_cover_everything(self):
+        policy = UniformRefresh(DEFAULT_CONFIG_32G)
+        assert policy.row_refreshes_per_window() == policy.total_rows
+
+
+class TestRaidr:
+    def test_paper_work_fraction(self):
+        policy = RaidrRefresh(DEFAULT_CONFIG_32G)
+        # 0.164 + 0.836 / 4 = 0.373.
+        assert policy.work_fraction() == pytest.approx(0.373)
+
+    def test_refresh_reduction_vs_baseline(self):
+        base = UniformRefresh(DEFAULT_CONFIG_32G)
+        raidr = RaidrRefresh(DEFAULT_CONFIG_32G)
+        reduction = 1 - (raidr.row_refreshes_per_window()
+                         / base.row_refreshes_per_window())
+        assert reduction == pytest.approx(0.627, abs=0.001)
+
+    def test_high_rate_is_weak_fraction(self):
+        policy = RaidrRefresh(DEFAULT_CONFIG_32G)
+        assert policy.high_rate_fraction() == pytest.approx(0.164)
+
+
+class TestDcRef:
+    def test_initial_hot_fraction(self):
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.165, seed=0)
+        # 0.164 weak x 0.165 match ~= 2.7% of rows hot.
+        assert policy.high_rate_fraction() == pytest.approx(0.027,
+                                                            abs=0.006)
+
+    def test_paper_work_fraction(self):
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.165, seed=0)
+        # ~0.027 + 0.973/4 ~= 0.27 -> 73% fewer refreshes than baseline.
+        assert policy.work_fraction() == pytest.approx(0.27, abs=0.01)
+
+    def test_write_to_weak_row_updates_hot_state(self):
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.5, seed=1,
+                             initial_match=0.0)
+        assert policy.high_rate_fraction() == 0.0
+        bank, row = np.argwhere(policy.weak)[0]
+        policy.on_write(int(bank), int(row), match_draw=0.1)  # < 0.5
+        assert policy._hot_count == 1
+        policy.on_write(int(bank), int(row), match_draw=0.9)  # >= 0.5
+        assert policy._hot_count == 0
+
+    def test_write_to_strong_row_is_ignored(self):
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=1.0, seed=1,
+                             initial_match=0.0)
+        bank, row = np.argwhere(~policy.weak)[0]
+        policy.on_write(int(bank), int(row), match_draw=0.0)
+        assert policy._hot_count == 0
+
+    def test_hot_count_matches_mask(self):
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.3, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            b = int(rng.integers(0, policy.config.n_banks_total))
+            r = int(rng.integers(0, policy.config.rows_per_bank))
+            policy.on_write(b, r, float(rng.random()))
+        assert policy._hot_count == int(policy.hot.sum())
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("baseline", UniformRefresh), ("raidr", RaidrRefresh),
+        ("dcref", DcRefPolicy), ("DC-REF", DcRefPolicy)])
+    def test_factory_names(self, name, cls):
+        assert isinstance(make_policy(name, DEFAULT_CONFIG_32G), cls)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("nope", DEFAULT_CONFIG_32G)
+
+
+class TestDcRefProfiledBins:
+    def test_weak_mask_tiles_over_memory(self):
+        import numpy as np
+        mask = np.zeros(100, dtype=bool)
+        mask[:25] = True
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.2, seed=0,
+                             weak_mask=mask)
+        assert policy.weak.mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_empty_mask_rejected(self):
+        import numpy as np
+        with pytest.raises(ValueError):
+            DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.2,
+                        weak_mask=np.zeros(0, dtype=bool))
+
+    def test_profiled_bins_end_to_end(self):
+        """The full bridge: profile a chip, feed the bins to DC-REF."""
+        from repro.core import controllers_for
+        from repro.dcref import profile_retention
+        from repro.dram import vendor
+        chip = vendor("A").make_chip(seed=5, n_rows=128)
+        prof = profile_retention(controllers_for(chip),
+                                 interval_s=0.256)
+        mask = prof.mask_array(1, 1, 128)
+        policy = DcRefPolicy(DEFAULT_CONFIG_32G, match_prob=0.165,
+                             seed=1, weak_mask=mask)
+        assert policy.weak.mean() == pytest.approx(
+            prof.weak_row_fraction(), abs=0.02)
+        assert policy.work_fraction() < 0.5

@@ -1,0 +1,60 @@
+"""Synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DEFAULT_CONFIG_32G, app, generate_trace
+
+
+class TestTraceGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_trace(app("gcc"), 100_000, DEFAULT_CONFIG_32G, 7)
+        b = generate_trace(app("gcc"), 100_000, DEFAULT_CONFIG_32G, 7)
+        assert np.array_equal(a.banks, b.banks)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.inst_gaps, b.inst_gaps)
+
+    def test_request_count_tracks_mpki(self):
+        heavy = generate_trace(app("mcf"), 100_000, DEFAULT_CONFIG_32G, 1)
+        light = generate_trace(app("povray"), 100_000,
+                               DEFAULT_CONFIG_32G, 1)
+        assert len(heavy) > 50 * len(light)
+
+    def test_mean_gap_matches_mpki(self):
+        trace = generate_trace(app("milc"), 500_000,
+                               DEFAULT_CONFIG_32G, 2)
+        mean_gap = trace.inst_gaps.mean()
+        assert mean_gap == pytest.approx(1000 / 25.0, rel=0.1)
+
+    def test_addresses_in_range(self):
+        cfg = DEFAULT_CONFIG_32G
+        trace = generate_trace(app("lbm"), 200_000, cfg, 3)
+        assert (trace.banks >= 0).all()
+        assert (trace.banks < cfg.n_banks_total).all()
+        assert (trace.rows >= 0).all()
+        assert (trace.rows < cfg.rows_per_bank).all()
+
+    def test_row_locality_reflected_in_hits(self):
+        streaming = generate_trace(app("libquantum"), 300_000,
+                                   DEFAULT_CONFIG_32G, 4)
+        chasing = generate_trace(app("mcf"), 300_000,
+                                 DEFAULT_CONFIG_32G, 4)
+        assert streaming.row_hits.mean() > chasing.row_hits.mean() + 0.3
+
+    def test_row_hits_reuse_open_row(self):
+        cfg = DEFAULT_CONFIG_32G
+        trace = generate_trace(app("libquantum"), 100_000, cfg, 5)
+        open_rows = {}
+        for i in range(len(trace)):
+            b = int(trace.banks[i])
+            if trace.row_hits[i]:
+                assert open_rows.get(b) == int(trace.rows[i])
+            open_rows[b] = int(trace.rows[i])
+
+    def test_write_fraction(self):
+        trace = generate_trace(app("lbm"), 500_000, DEFAULT_CONFIG_32G, 6)
+        assert trace.is_write.mean() == pytest.approx(0.45, abs=0.05)
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(app("gcc"), 0, DEFAULT_CONFIG_32G, 0)

@@ -1,0 +1,46 @@
+"""Smoke tests: the runnable examples stay runnable.
+
+Each example is executed as a subprocess, exactly as a user would run
+it; only the faster ones run here (the DC-REF study and future-node
+study are covered functionally by the dcref/extension test suites).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "recursion_walkthrough.py",
+    "scrambler_explorer.py",
+    "mitigation_study.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_walkthrough_recovers_toy_distances():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "recursion_walkthrough.py")],
+        capture_output=True, text=True, timeout=600)
+    assert "{+-1, +-5}" in proc.stdout
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py", "vendor_characterization.py",
+        "recursion_walkthrough.py", "dcref_refresh_study.py",
+        "future_node_study.py", "mitigation_study.py",
+        "scrambler_explorer.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

@@ -1,0 +1,58 @@
+"""Cross-package integration: the PARBOR -> DC-REF pipeline.
+
+The paper's story end to end: characterise a chip with PARBOR, derive
+the rows needing fast refresh, then let DC-REF clear rows whose live
+content is benign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ParborConfig, run_parbor
+from repro.dcref import (bins_from_failures, build_vulnerability_map,
+                         weak_row_fraction)
+from repro.dram import vendor
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    chip = vendor("A").make_chip(seed=21, n_rows=64)
+    result = run_parbor(chip, ParborConfig(sample_size=1000), seed=8)
+    return chip, result
+
+
+class TestParborToDcRef:
+    def test_vulnerability_map_covers_detected_rows(self, campaign):
+        chip, result = campaign
+        vmap = build_vulnerability_map(result.detected, result.distances,
+                                       chip.row_bits)
+        detected_rows = {(c, b, r) for c, b, r, _ in result.detected}
+        assert set(vmap) == detected_rows
+
+    def test_weak_row_bins_from_campaign(self, campaign):
+        chip, result = campaign
+        mask = bins_from_failures(result.detected, n_chips=1, n_banks=1,
+                                  n_rows=chip.n_rows)
+        frac = weak_row_fraction(mask)
+        assert 0.0 < frac <= 1.0
+
+    def test_worst_pattern_write_triggers_matcher(self, campaign):
+        chip, result = campaign
+        vmap = build_vulnerability_map(result.detected, result.distances,
+                                       chip.row_bits)
+        key, vrow = next(iter(sorted(vmap.items())))
+        # Build content that puts one vulnerable cell in its worst case.
+        content = np.ones(chip.row_bits, dtype=np.uint8)
+        col = int(vrow.columns[0])
+        for d in vrow.distances:
+            if 0 <= col + d < chip.row_bits:
+                content[col + d] = 0
+        assert vrow.matches(content)
+        # Uniform content is always benign.
+        assert not vrow.matches(np.zeros(chip.row_bits, dtype=np.uint8))
+
+    def test_distances_feed_scheduler_and_matcher_alike(self, campaign):
+        _chip, result = campaign
+        assert result.magnitudes() == [8, 16, 48]
+        assert result.schedule is not None
+        assert result.schedule.total_rounds >= 4

@@ -1,0 +1,13 @@
+"""The documented quickstart snippet does what the docs promise."""
+
+from repro.core import run_parbor
+from repro.dram import vendor
+
+
+def test_readme_quickstart_snippet():
+    chip = vendor("A").make_chip(seed=1, n_rows=128)
+    result = run_parbor(chip)
+    assert sorted(result.distances, key=lambda d: (abs(d), d)) \
+        == [-8, 8, -16, 16, -48, 48]
+    assert result.recursion.tests_per_level == [2, 8, 8, 24, 48]
+    assert len(result.detected) > 0
