@@ -8,17 +8,25 @@ chips), so absolute counts scale down accordingly; the relative
 increase is the reproduced quantity.
 """
 
+import os
+
 import numpy as np
 
 from repro.analysis import fleet_comparison, format_table
 
 from ._report import report
 
+# The fleet fan-out worker count; results are identical for any value
+# (tests/runtime/test_parallel_equivalence.py), so benchmarking hosts
+# can raise it freely.
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
 
 def test_fig12_fleet_extra_failures(benchmark):
     comparisons = benchmark.pedantic(
         fleet_comparison,
-        kwargs=dict(modules_per_vendor=6, seed=2016, n_rows=96),
+        kwargs=dict(modules_per_vendor=6, seed=2016, n_rows=96,
+                    jobs=JOBS),
         rounds=1, iterations=1)
 
     rows = [[c.module_id, c.budget, c.parbor_failures,

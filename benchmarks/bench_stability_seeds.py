@@ -7,9 +7,12 @@ campaign on several independently drawn chips per vendor and checks
 that the counts and distance sets never vary.
 """
 
+import os
+
 import pytest
 
-from repro.analysis import format_table, recursion_for_vendor
+from repro.analysis import format_table
+from repro.runtime import CampaignSpec, run_fleet
 
 from ._report import report
 
@@ -17,14 +20,20 @@ PAPER_TESTS = {"A": [2, 8, 8, 24, 48], "B": [2, 8, 8, 24, 24],
                "C": [2, 8, 8, 24, 48]}
 PAPER_MAGS = {"A": [8, 16, 48], "B": [1, 64], "C": [16, 33, 49]}
 SEEDS = (101, 211, 307, 401, 503)
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 @pytest.mark.parametrize("name", ["A", "B", "C"])
 def test_stability_across_chips(benchmark, name):
+    # Same seeds as recursion_for_vendor(name, seed=s): the chip is
+    # built from s and the campaign runs with s + 1.
+    specs = [CampaignSpec(experiment="characterize", vendor=name,
+                          build_seed=seed, run_seed=seed + 1,
+                          n_rows=96, sample_size=1500, run_sweep=False)
+             for seed in SEEDS]
+
     def sweep():
-        return [recursion_for_vendor(name, seed=seed, n_rows=96,
-                                     sample_size=1500)
-                for seed in SEEDS]
+        return [o.result for o in run_fleet(specs, jobs=JOBS).outcomes]
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

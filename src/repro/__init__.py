@@ -15,6 +15,10 @@ System-Level Technique to Detect Data-Dependent Failures in DRAM*
   data-content-based refresh policies.
 * :mod:`repro.analysis` - drivers regenerating every table and figure
   of the paper's evaluation.
+* :mod:`repro.runtime` - the parallel fleet-campaign engine:
+  deterministic seed ladders, picklable campaign specs, and
+  :func:`repro.runtime.run_fleet`, whose results are identical for
+  every worker count.
 
 Quickstart::
 
@@ -27,14 +31,16 @@ Quickstart::
     print(result.recursion.tests_per_level)   # -> [2, 8, 8, 24, 48]
 """
 
-from . import analysis, core, dcref, dram, mitigate, sim
+from . import analysis, core, dcref, dram, mitigate, runtime, sim
 from .core import ParborConfig, ParborResult, run_parbor
 from .dram import DramChip, DramModule, MemoryController, vendor
+from .runtime import CampaignSpec, run_fleet
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "DramChip", "DramModule", "MemoryController", "ParborConfig",
-    "ParborResult", "analysis", "core", "dcref", "dram", "mitigate",
-    "run_parbor", "sim", "vendor", "__version__",
+    "CampaignSpec", "DramChip", "DramModule", "MemoryController",
+    "ParborConfig", "ParborResult", "analysis", "core", "dcref", "dram",
+    "mitigate", "run_fleet", "run_parbor", "runtime", "sim", "vendor",
+    "__version__",
 ]

@@ -1,0 +1,50 @@
+"""Process-wide switch between reference and vectorized kernels.
+
+The hot paths of the DRAM substrate and the PARBOR pipeline exist in
+two implementations:
+
+* the **reference kernels** - the original straight-line loops the
+  reproduction was seeded with.  They are kept verbatim as the
+  executable specification of the serial path.
+* the **vectorized kernels** (default) - batched numpy equivalents
+  used by :mod:`repro.runtime` to make fleet campaigns fast.
+
+Both produce bit-identical results (same failure coordinates, same
+test counts, same RNG consumption); ``tests/runtime`` proves it
+differentially.  The switch lives in this dependency-free module so
+:mod:`repro.dram` and :mod:`repro.core` can consult it without
+importing :mod:`repro.runtime` (which sits above them).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["reference_kernels_enabled", "use_reference_kernels",
+           "reference_kernels"]
+
+_REFERENCE = False
+
+
+def reference_kernels_enabled() -> bool:
+    """True when the original loop-based kernels are selected."""
+    return _REFERENCE
+
+
+def use_reference_kernels(enabled: bool) -> None:
+    """Select reference (True) or vectorized (False) kernels."""
+    global _REFERENCE
+    _REFERENCE = bool(enabled)
+
+
+@contextmanager
+def reference_kernels(enabled: bool = True) -> Iterator[None]:
+    """Temporarily select the reference kernels (context manager)."""
+    global _REFERENCE
+    previous = _REFERENCE
+    _REFERENCE = bool(enabled)
+    try:
+        yield
+    finally:
+        _REFERENCE = previous

@@ -20,6 +20,8 @@ from ..core.detector import ParborResult, controllers_for, run_parbor
 from ..core.ranking import normalised_ranking
 from ..dram.module import DramModule
 from ..dram.vendors import make_module, vendor
+from ..runtime.fleet import run_fleet
+from ..runtime.specs import CampaignSpec
 
 __all__ = [
     "ModuleComparison", "CoverageSplit", "recursion_for_vendor",
@@ -91,22 +93,41 @@ def compare_module(module: DramModule, seed: int = 0,
     return comparison, result
 
 
-def fleet_comparison(modules_per_vendor: int = 6, seed: int = 2016,
-                     n_rows: int = DEFAULT_N_ROWS,
-                     config: Optional[ParborConfig] = None
-                     ) -> List[ModuleComparison]:
-    """Figure 12: extra failures across the whole 18-module fleet."""
+def _fleet_specs(modules_per_vendor: int, seed: int, n_rows: int,
+                 config: Optional[ParborConfig]) -> List[CampaignSpec]:
+    """Module-compare specs with the historical seed-draw order.
+
+    The per-module seeds are drawn from one generator in the exact
+    sequence the original serial loop used (build seed then run seed,
+    vendors A/B/C outer, modules inner), so fleets stay byte-identical
+    to the pre-runtime code for any ``jobs``.
+    """
     rng = np.random.default_rng(seed)
-    out: List[ModuleComparison] = []
+    specs: List[CampaignSpec] = []
     for name in ("A", "B", "C"):
         for i in range(modules_per_vendor):
-            module = make_module(name, i + 1,
-                                 seed=int(rng.integers(0, 2**63)),
-                                 n_rows=n_rows)
-            comparison, _ = compare_module(
-                module, seed=int(rng.integers(0, 2**31)), config=config)
-            out.append(comparison)
-    return out
+            build_seed = int(rng.integers(0, 2**63))
+            run_seed = int(rng.integers(0, 2**31))
+            specs.append(CampaignSpec(
+                experiment="compare", vendor=name, index=i + 1,
+                build_seed=build_seed, run_seed=run_seed,
+                n_rows=n_rows, config=config))
+    return specs
+
+
+def fleet_comparison(modules_per_vendor: int = 6, seed: int = 2016,
+                     n_rows: int = DEFAULT_N_ROWS,
+                     config: Optional[ParborConfig] = None,
+                     jobs: int = 1) -> List[ModuleComparison]:
+    """Figure 12: extra failures across the whole 18-module fleet.
+
+    Args:
+        jobs: worker processes for the campaign fan-out; results are
+            identical for every value (see :mod:`repro.runtime`).
+    """
+    specs = _fleet_specs(modules_per_vendor, seed, n_rows, config)
+    fleet = run_fleet(specs, jobs=jobs)
+    return [o.comparison for o in fleet.outcomes]
 
 
 @dataclass
@@ -132,18 +153,12 @@ class CoverageSplit:
 
 
 def coverage_split(seed: int = 2016, n_rows: int = DEFAULT_N_ROWS,
-                   config: Optional[ParborConfig] = None
-                   ) -> List[CoverageSplit]:
+                   config: Optional[ParborConfig] = None,
+                   jobs: int = 1) -> List[CoverageSplit]:
     """Figure 13 for the first module of each vendor (A1, B1, C1)."""
-    rng = np.random.default_rng(seed)
-    out: List[CoverageSplit] = []
-    for name in ("A", "B", "C"):
-        module = make_module(name, 1, seed=int(rng.integers(0, 2**63)),
-                             n_rows=n_rows)
-        comparison, _ = compare_module(
-            module, seed=int(rng.integers(0, 2**31)), config=config)
-        out.append(CoverageSplit.from_comparison(comparison))
-    return out
+    fleet = run_fleet(_fleet_specs(1, seed, n_rows, config), jobs=jobs)
+    return [CoverageSplit.from_comparison(o.comparison)
+            for o in fleet.outcomes]
 
 
 def ranking_histogram(vendor_name: str, level: int = 4, seed: int = 2016,

@@ -23,16 +23,23 @@ from typing import Any, Dict, List, Optional
 from .analysis import (campaign_to_json, compare_module,
                        comparisons_to_csv, comparisons_to_json,
                        fleet_comparison, format_distance_set,
-                       format_table, recursion_for_vendor)
+                       format_table)
 from .core import (MARCH_B, MARCH_C_MINUS, MATS_PLUS, ParborConfig,
                    checkerboard, controllers_for, exhaustive_cost_table,
                    module_test_time_s, plan_campaign, reduction_factor,
                    run_march)
 from .dcref import run_fig16
-from .dram import make_module
 from .sim import DEFAULT_CONFIG_16G, DEFAULT_CONFIG_32G
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative, got {jobs}")
+    return jobs
 
 
 def _dump_json(path: Optional[str], payload: Dict[str, Any]) -> None:
@@ -43,9 +50,13 @@ def _dump_json(path: Optional[str], payload: Dict[str, Any]) -> None:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    result = recursion_for_vendor(args.vendor, seed=args.seed,
-                                  n_rows=args.rows,
-                                  sample_size=args.sample)
+    from .runtime import CampaignSpec, run_fleet
+    spec = CampaignSpec(experiment="characterize", vendor=args.vendor,
+                        build_seed=args.seed, run_seed=args.seed + 1,
+                        n_rows=args.rows, sample_size=args.sample,
+                        run_sweep=False)
+    fleet = run_fleet([spec], jobs=args.jobs)
+    result = fleet.outcomes[0].result
     rows = [[f"L{lv.level}", lv.region_size, lv.tests,
              format_distance_set(lv.kept_distances)]
             for lv in result.recursion.levels]
@@ -64,8 +75,13 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    module = make_module(args.vendor, 1, seed=args.seed, n_rows=args.rows)
-    comparison, result = compare_module(module, seed=args.seed + 1)
+    from .runtime import CampaignSpec, run_fleet
+    spec = CampaignSpec(experiment="compare", vendor=args.vendor, index=1,
+                        build_seed=args.seed, run_seed=args.seed + 1,
+                        n_rows=args.rows)
+    fleet = run_fleet([spec], jobs=args.jobs)
+    comparison = fleet.outcomes[0].comparison
+    result = fleet.outcomes[0].result
     rows = [
         ["budget (whole-module tests)", comparison.budget],
         ["PARBOR failures", comparison.parbor_failures],
@@ -149,7 +165,7 @@ def _cmd_march(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     comparisons = fleet_comparison(
         modules_per_vendor=args.modules_per_vendor, seed=args.seed,
-        n_rows=args.rows)
+        n_rows=args.rows, jobs=args.jobs)
     rows = [[c.module_id, c.budget, c.parbor_failures,
              c.random_failures, f"{c.extra_percent:+.1f}%"]
             for c in comparisons]
@@ -262,6 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=128)
     p.add_argument("--sample", type=int, default=2000)
     p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (results are identical "
+                        "for any value)")
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("compare",
@@ -269,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vendor", choices=["A", "B", "C"], default="A")
     p.add_argument("--rows", type=int, default=96)
     p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (results are identical "
+                        "for any value)")
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("dcref", help="refresh-policy comparison")
@@ -292,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--modules-per-vendor", type=int, default=2)
     p.add_argument("--rows", type=int, default=96)
     p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
+                   help="worker processes (results are identical "
+                        "for any value)")
     p.add_argument("--csv", metavar="FILE",
                    help="write per-module rows as CSV")
     p.set_defaults(func=_cmd_fleet)

@@ -20,8 +20,9 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from .._kernels import reference_kernels_enabled
 from ..dram.chip import DramChip
-from ..dram.controller import MemoryController
+from ..dram.controller import MemoryController, TestStats
 from ..dram.module import DramModule
 from .config import DEFAULT_CONFIG, ParborConfig
 from .patterns import inverse
@@ -53,6 +54,9 @@ class ParborResult:
         schedule: the sweep schedule (None when no distances found).
         recovery: per-victim aggressor maps for remapped-column
             victims (None unless requested; Section 7.3 extension).
+        stats: merged per-chip I/O counters of the campaign's
+            controllers (rows written/read, retention waits) - the
+            record fleet runs aggregate across worker processes.
     """
 
     distances: List[int]
@@ -64,6 +68,7 @@ class ParborResult:
     n_sweep_rounds: int = 0
     schedule: Optional[TestSchedule] = None
     recovery: Optional[RecoveryResult] = None
+    stats: Optional[TestStats] = None
 
     @property
     def total_tests(self) -> int:
@@ -96,16 +101,43 @@ def neighbour_aware_sweep(controllers: Sequence[MemoryController],
     Returns the union of failing coordinates - PARBOR's detected
     data-dependent failures.
     """
-    detected: Set[Coord] = set()
+    if reference_kernels_enabled():
+        detected: Set[Coord] = set()
+        for pattern in schedule.patterns:
+            for polarity in (pattern, inverse(pattern)):
+                for chip_idx, ctrl in enumerate(controllers):
+                    per_bank = ctrl.test_pattern(polarity)
+                    for bank_idx, (rows, cols) in enumerate(per_bank):
+                        detected.update(
+                            (chip_idx, bank_idx, int(r), int(c))
+                            for r, c in zip(rows.tolist(), cols.tolist()))
+        return detected
+
+    # Batched verification: collect every round's failure coordinates
+    # as integer-encoded arrays and deduplicate once at the end,
+    # instead of growing a Python set tuple by tuple.
+    n_rows = max(c.n_rows for c in controllers)
+    n_banks = max(c.n_banks for c in controllers)
+    row_bits = controllers[0].row_bits
+    chunks: List[np.ndarray] = []
     for pattern in schedule.patterns:
         for polarity in (pattern, inverse(pattern)):
             for chip_idx, ctrl in enumerate(controllers):
                 per_bank = ctrl.test_pattern(polarity)
                 for bank_idx, (rows, cols) in enumerate(per_bank):
-                    detected.update(
-                        (chip_idx, bank_idx, int(r), int(c))
-                        for r, c in zip(rows.tolist(), cols.tolist()))
-    return detected
+                    enc = (((np.int64(chip_idx) * n_banks + bank_idx)
+                            * n_rows + rows.astype(np.int64))
+                           * row_bits + cols.astype(np.int64))
+                    chunks.append(enc)
+    if not chunks:
+        return set()
+    uniq = np.unique(np.concatenate(chunks))
+    cols_d = uniq % row_bits
+    rest = uniq // row_bits
+    rows_d = rest % n_rows
+    rest //= n_rows
+    return set(zip((rest // n_banks).tolist(), (rest % n_banks).tolist(),
+                   rows_d.tolist(), cols_d.tolist()))
 
 
 def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
@@ -158,4 +190,5 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
         # Discovery-phase failures are part of the campaign's budget
         # and therefore of its detections.
         result.detected |= sample.observed_failures
+    result.stats = TestStats.merge(c.stats for c in controllers)
     return result

@@ -15,9 +15,12 @@ and anti cells are exercised (paper footnote 3); :func:`inverse` and
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, List, Tuple
 
 import numpy as np
+
+from .._kernels import reference_kernels_enabled
 
 __all__ = [
     "solid", "checkerboard", "column_stripes", "walking_ones", "inverse",
@@ -73,21 +76,44 @@ def with_inverses(patterns: List[Tuple[str, np.ndarray]]
         yield f"~{name}", inverse(pattern)
 
 
-def discovery_patterns(row_bits: int, n_tests: int,
-                       rng: np.random.Generator
-                       ) -> List[Tuple[str, np.ndarray]]:
-    """The initial victim-discovery battery (Section 5.2.1).
+@lru_cache(maxsize=16)
+def _base_battery(row_bits: int) -> Tuple[Tuple[str, np.ndarray], ...]:
+    """Memoized deterministic head of the discovery battery.
 
-    Produces exactly ``n_tests`` patterns: the deterministic classics
-    (solid/checker/stripe pairs) topped up with random backgrounds.
-    Inverse pairing is preserved as long as the budget allows.
+    The classic patterns and their inverses are identical for every
+    chip of a fleet, so they are built once per process and shared
+    (read-only) across campaigns.
     """
     base: List[Tuple[str, np.ndarray]] = [
         ("solid0", solid(row_bits, 0)),
         ("checker1", checkerboard(row_bits, period=1)),
         ("stripe8", checkerboard(row_bits, period=8)),
     ]
-    battery = list(with_inverses(base))
+    battery = tuple(with_inverses(base))
+    for _name, arr in battery:
+        arr.flags.writeable = False
+    return battery
+
+
+def discovery_patterns(row_bits: int, n_tests: int,
+                       rng: np.random.Generator
+                       ) -> List[Tuple[str, np.ndarray]]:
+    """The initial victim-discovery battery (Section 5.2.1).
+
+    Produces exactly ``n_tests`` patterns: the deterministic classics
+    (solid/checker/stripe pairs, memoized per process) topped up with
+    random backgrounds.  Inverse pairing is preserved as long as the
+    budget allows.
+    """
+    if reference_kernels_enabled():
+        base: List[Tuple[str, np.ndarray]] = [
+            ("solid0", solid(row_bits, 0)),
+            ("checker1", checkerboard(row_bits, period=1)),
+            ("stripe8", checkerboard(row_bits, period=8)),
+        ]
+        battery = list(with_inverses(base))
+    else:
+        battery = list(_base_battery(row_bits))
     i = 0
     while len(battery) < n_tests:
         battery.append((f"rand{i}", random_pattern(row_bits, rng)))

@@ -33,9 +33,12 @@ cells, so the number of *tests* is twice the number of base rounds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 import numpy as np
+
+from .._kernels import reference_kernels_enabled
 
 __all__ = ["TestSchedule", "greedy_colouring", "build_schedule",
            "paper_round_count", "sparse_stride"]
@@ -158,6 +161,11 @@ def build_schedule(row_bits: int, distances: Sequence[int],
                    scheme: str = "sparse") -> TestSchedule:
     """Build the full-chip sweep schedule from signed distances.
 
+    Identical ``(row_bits, distance set, scheme)`` requests are
+    memoized per process: a fleet campaign schedules each vendor's
+    sweep once instead of once per chip.  Memoized schedules carry
+    read-only pattern arrays; copy before mutating.
+
     Args:
         row_bits: bits per row.
         distances: signed neighbour distances found by the recursion.
@@ -167,6 +175,26 @@ def build_schedule(row_bits: int, distances: Sequence[int],
                     key=lambda d: (abs(d), d))
     if not signed:
         raise ValueError("cannot schedule with an empty distance set")
+    if not reference_kernels_enabled():
+        return _build_schedule_cached(row_bits, tuple(signed), scheme)
+    return _build_schedule(row_bits, tuple(signed), scheme)
+
+
+@lru_cache(maxsize=64)
+def _build_schedule_cached(row_bits: int, signed: Tuple[int, ...],
+                           scheme: str) -> TestSchedule:
+    """Memoized schedule construction (normalised distance key)."""
+    schedule = _build_schedule(row_bits, signed, scheme)
+    for arr in schedule.patterns:
+        arr.flags.writeable = False
+    for arr in schedule.victim_masks:
+        arr.flags.writeable = False
+    return schedule
+
+
+def _build_schedule(row_bits: int, signed: Tuple[int, ...],
+                    scheme: str) -> TestSchedule:
+    """Uncached schedule construction from normalised signed distances."""
     mags = sorted({abs(d) for d in signed})
     # Both aggressor sides matter even if the recursion only saw one
     # sign (symmetry of physical adjacency).

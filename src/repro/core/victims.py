@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from .._kernels import reference_kernels_enabled
 from ..dram.controller import MemoryController
 from .config import ParborConfig
 from .patterns import discovery_patterns
@@ -99,19 +100,54 @@ def find_initial_victims(controllers: Sequence[MemoryController],
         raise ValueError("all chips must share row width")
 
     battery = discovery_patterns(row_bits, config.n_discovery_tests, rng)
-    fail_counts: Dict[Coord, int] = {}
-    for _name, pattern in battery:
-        for chip_idx, ctrl in enumerate(controllers):
-            per_bank = ctrl.test_pattern(pattern)
-            for bank_idx, (rows, cols) in enumerate(per_bank):
-                for r, c in zip(rows.tolist(), cols.tolist()):
-                    key = (chip_idx, bank_idx, r, c)
-                    fail_counts[key] = fail_counts.get(key, 0) + 1
-
     n_tests = len(battery)
-    candidates = [coord for coord, fails in fail_counts.items()
-                  if 1 <= fails < n_tests]
-    candidates.sort()
+    if reference_kernels_enabled():
+        fail_counts: Dict[Coord, int] = {}
+        for _name, pattern in battery:
+            for chip_idx, ctrl in enumerate(controllers):
+                per_bank = ctrl.test_pattern(pattern)
+                for bank_idx, (rows, cols) in enumerate(per_bank):
+                    for r, c in zip(rows.tolist(), cols.tolist()):
+                        key = (chip_idx, bank_idx, r, c)
+                        fail_counts[key] = fail_counts.get(key, 0) + 1
+        candidates = [coord for coord, fails in fail_counts.items()
+                      if 1 <= fails < n_tests]
+        candidates.sort()
+        observed = set(fail_counts)
+    else:
+        # Batched counting: encode every failure coordinate of every
+        # test into one integer per cell and histogram them in a
+        # single unique pass instead of a per-cell dict update.
+        n_rows = max(c.n_rows for c in controllers)
+        n_banks = max(c.n_banks for c in controllers)
+        chunks: List[np.ndarray] = []
+        for _name, pattern in battery:
+            for chip_idx, ctrl in enumerate(controllers):
+                per_bank = ctrl.test_pattern(pattern)
+                for bank_idx, (rows, cols) in enumerate(per_bank):
+                    enc = (((np.int64(chip_idx) * n_banks + bank_idx)
+                            * n_rows + rows.astype(np.int64))
+                           * row_bits + cols.astype(np.int64))
+                    chunks.append(enc)
+        if chunks:
+            enc_all = np.concatenate(chunks)
+            uniq, fails = np.unique(enc_all, return_counts=True)
+        else:
+            uniq = np.empty(0, dtype=np.int64)
+            fails = uniq
+        def _decode(enc: np.ndarray) -> List[Coord]:
+            cols_d = enc % row_bits
+            rest = enc // row_bits
+            rows_d = rest % n_rows
+            rest //= n_rows
+            banks_d = rest % n_banks
+            chips_d = rest // n_banks
+            return list(zip(chips_d.tolist(), banks_d.tolist(),
+                            rows_d.tolist(), cols_d.tolist()))
+        # Encoded order is lexicographic (chip, bank, row, col) order,
+        # matching the reference path's candidates.sort().
+        candidates = _decode(uniq[(fails >= 1) & (fails < n_tests)])
+        observed = set(_decode(uniq))
 
     # Keep rows sparse: same-row victims share physical writes, and a
     # crowded row lets one victim's zeroed test region land on
@@ -130,4 +166,4 @@ def find_initial_victims(controllers: Sequence[MemoryController],
                          replace=False)
         candidates = [candidates[i] for i in sorted(idx.tolist())]
     return VictimSample.from_coords(candidates, n_discovery_tests=n_tests,
-                                    observed_failures=set(fail_counts))
+                                    observed_failures=observed)

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .._kernels import reference_kernels_enabled
 from .cells import CoupledCellPopulation
 from .faults import RandomFaultModel
 from .mapping import AddressMapping
@@ -85,9 +86,75 @@ class Bank:
         """Write several rows at once (vectorised)."""
         rows = np.asarray(rows)
         data_sys = np.asarray(data_sys, dtype=np.uint8)
+        if data_sys.ndim == 1 and not reference_kernels_enabled():
+            # Broadcast write: scramble the single row once (memoized
+            # on the shared vendor mapping), then apply the per-row
+            # polarity with one outer XOR instead of gathering the
+            # permutation for every row.
+            scrambled = self.mapping.scramble_cached(data_sys)
+            anti = self.anti_rows[rows].astype(np.uint8)
+            self.charge[rows] = scrambled[None, :] ^ anti[:, None]
+            return
         if data_sys.ndim == 1:
             data_sys = np.broadcast_to(data_sys, (len(rows), self.row_bits))
         self.charge[rows] = self._to_charge(rows, data_sys)
+
+    def write_rows_patched(self, rows: np.ndarray, base: int,
+                           spans: Optional[Tuple[np.ndarray, np.ndarray,
+                                                 int, int]] = None,
+                           points: Optional[Tuple[np.ndarray, np.ndarray,
+                                                  int]] = None) -> None:
+        """Write rows that are a constant background plus sparse patches.
+
+        Equivalent to building the full system-order array - ``base``
+        everywhere, then ``spans`` of ``size`` system bits overwritten
+        with their value, then individual ``points`` overwritten last -
+        and calling :meth:`write_rows`, but scatters only the patched
+        positions into the charge array instead of scrambling whole
+        rows.  This is the write primitive of the recursive region
+        test, whose patches shrink with the region size.
+
+        Args:
+            rows: bank row indices being written.
+            base: background bit value (0/1) in system order.
+            spans: ``(row_idx, starts, size, value)`` - for each span,
+                ``row_idx`` indexes into ``rows`` and system columns
+                ``starts .. starts+size`` take ``value``.
+            points: ``(row_idx, sys_cols, value)`` - individual bits,
+                applied after the spans.
+        """
+        rows = np.asarray(rows)
+        n = len(rows)
+        patch_cells = (0 if spans is None else len(spans[0]) * spans[2]) \
+            + (0 if points is None else len(points[0]))
+        if patch_cells * 2 > n * self.row_bits:
+            # Dense fallback: the patches cover most of the rows, so
+            # materialising the system-order data and scrambling it
+            # wholesale is cheaper than scattering.
+            data = np.full((n, self.row_bits), base, dtype=np.uint8)
+            if spans is not None:
+                row_idx, starts, size, value = spans
+                for r, s in zip(row_idx.tolist(), starts.tolist()):
+                    data[r, s:s + size] = value
+            if points is not None:
+                row_idx, cols, value = points
+                data[row_idx, cols] = value
+            self.charge[rows] = self._to_charge(rows, data)
+            return
+
+        anti = self.anti_rows[rows].astype(np.uint8)
+        block = np.empty((n, self.row_bits), dtype=np.uint8)
+        block[:] = (np.uint8(base) ^ anti)[:, None]
+        s2p = self.mapping.sys_to_phys()
+        if spans is not None and len(spans[0]):
+            row_idx, starts, size, value = spans
+            sys_idx = starts[:, None] + np.arange(size, dtype=np.int64)
+            rr = np.repeat(row_idx, size)
+            block[rr, s2p[sys_idx.ravel()]] = np.uint8(value) ^ anti[rr]
+        if points is not None and len(points[0]):
+            row_idx, cols, value = points
+            block[row_idx, s2p[cols]] = np.uint8(value) ^ anti[row_idx]
+        self.charge[rows] = block
 
     def write_all(self, data_sys: np.ndarray) -> None:
         """Write every row with the same (or per-row) system-order data."""
@@ -134,12 +201,54 @@ class Bank:
         data_phys = self.charge[rows] ^ self.anti_rows[rows, None].astype(
             np.uint8)
         data_sys = data_phys[:, self.mapping.sys_to_phys()]
-        row_pos = {int(r): i for i, r in enumerate(rows)}
-        for r, c in zip(f_rows, f_cols):
-            i = row_pos.get(int(r))
-            if i is not None:
-                data_sys[i, c] ^= 1
+        if reference_kernels_enabled():
+            row_pos = {int(r): i for i, r in enumerate(rows)}
+            for r, c in zip(f_rows, f_cols):
+                i = row_pos.get(int(r))
+                if i is not None:
+                    data_sys[i, c] ^= 1
+            return data_sys
+        if len(f_rows):
+            # Vectorised scatter with the same semantics as the loop:
+            # for duplicate rows the last occurrence wins, and repeated
+            # flips at one coordinate toggle repeatedly (xor.at).
+            pos = np.full(self.n_rows, -1, dtype=np.int64)
+            pos[rows] = np.arange(len(rows), dtype=np.int64)
+            i = pos[f_rows]
+            visible = i >= 0
+            np.bitwise_xor.at(data_sys, (i[visible], f_cols[visible]),
+                              np.uint8(1))
         return data_sys
+
+    def retention_check_cells(self, rows: np.ndarray,
+                              check_row_idx: np.ndarray,
+                              check_cols: np.ndarray) -> np.ndarray:
+        """One retention wait; did specific cells read back corrupted?
+
+        The batched verification primitive: instead of materialising
+        the observed data of every row and comparing per cell, the
+        (sparse) retention flip coordinates are matched against the
+        checked cells directly.
+
+        Args:
+            rows: bank rows that were written (and are now read).
+            check_row_idx: per checked cell, index into ``rows``.
+            check_cols: per checked cell, system column.
+
+        Returns:
+            Boolean array over the checked cells: True where the
+            read-back value differs from what was written (an odd
+            number of flip events landed on the cell).
+        """
+        f_rows, f_cols = self.retention_failures()
+        check_enc = (rows[check_row_idx].astype(np.int64) * self.row_bits
+                     + check_cols)
+        if not len(f_rows):
+            return np.zeros(len(check_enc), dtype=bool)
+        enc = f_rows.astype(np.int64) * self.row_bits + f_cols
+        uniq, counts = np.unique(enc, return_counts=True)
+        odd = uniq[counts % 2 == 1]
+        return np.isin(check_enc, odd)
 
     def retention_read_all(self) -> np.ndarray:
         """Full-bank retention read, system order (observed data)."""

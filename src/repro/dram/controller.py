@@ -16,7 +16,7 @@ parallelism is PARBOR's second key idea.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,30 @@ class TestStats:
         wait_ns = (self.retention_waits
                    * self._timing.refresh_interval_ms * 1e6)
         return wait_ns + (self.rows_written + self.rows_read) * t_row
+
+    @classmethod
+    def merge(cls, stats: Iterable["TestStats"]) -> "TestStats":
+        """Sum counters over several campaigns into a fresh record.
+
+        This is the aggregation primitive fleet campaigns use: each
+        worker process accumulates its own per-chip counters, and the
+        parent merges the (pickled) records instead of relying on
+        in-place mutation of shared state.  Timing parameters are
+        taken from the first record (fleets are homogeneous).
+        """
+        merged: Optional[TestStats] = None
+        for s in stats:
+            if merged is None:
+                merged = cls(_timing=s._timing)
+            merged.tests += s.tests
+            merged.rows_written += s.rows_written
+            merged.rows_read += s.rows_read
+            merged.retention_waits += s.retention_waits
+        return merged if merged is not None else cls()
+
+    def __add__(self, other: "TestStats") -> "TestStats":
+        """Merged copy of two counter records (timing from ``self``)."""
+        return TestStats.merge([self, other])
 
 
 class MemoryController:
@@ -111,6 +135,31 @@ class MemoryController:
         self.stats.tests += 1
         self.stats.rows_read += len(rows)
         return b.retention_read_rows(rows)
+
+    def test_rows_patched(self, bank: int, rows: np.ndarray, base: int,
+                          spans: Optional[Tuple[np.ndarray, np.ndarray,
+                                                int, int]],
+                          points: Optional[Tuple[np.ndarray, np.ndarray,
+                                                 int]],
+                          check_row_idx: np.ndarray,
+                          check_cols: np.ndarray) -> np.ndarray:
+        """One batched test: sparse-patched write, then cell verification.
+
+        Writes a constant background plus span/point patches (see
+        :meth:`~repro.dram.bank.Bank.write_rows_patched`), waits one
+        retention interval, and returns a bool mask over the checked
+        cells - True where the read-back differs from what was
+        written.  Test accounting is identical to :meth:`test_rows`
+        (the rows are still conceptually written and read in full).
+        """
+        rows = np.asarray(rows)
+        b = self.chip.bank(bank)
+        b.write_rows_patched(rows, base, spans=spans, points=points)
+        self.stats.rows_written += len(rows)
+        self.stats.retention_waits += 1
+        self.stats.tests += 1
+        self.stats.rows_read += len(rows)
+        return b.retention_check_cells(rows, check_row_idx, check_cols)
 
     def test_pattern(self, data_sys: np.ndarray
                      ) -> List[Tuple[np.ndarray, np.ndarray]]:

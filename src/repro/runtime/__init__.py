@@ -1,0 +1,31 @@
+"""Parallel fleet-campaign runtime.
+
+The paper characterizes 96 DIMMs from three vendors; this package is
+the engine that makes such fleet campaigns cheap in the simulator:
+
+* :mod:`repro.runtime.seeds` - a SHA-256 seed ladder that derives
+  every target's randomness from one root seed and the target's
+  identity, independent of scheduling;
+* :mod:`repro.runtime.specs` - frozen, picklable campaign specs that
+  rebuild their chip/module inside any process;
+* :mod:`repro.runtime.fleet` - :func:`run_fleet`, fanning specs over
+  a ``ProcessPoolExecutor`` with crash recovery, returning outcomes
+  byte-identical to the serial path for every ``jobs`` setting;
+* :mod:`repro.runtime.compat` - the reference-kernel switch that keeps
+  the original per-cell loops executable as the specification the
+  optimized engine is differentially tested against.
+"""
+
+from .compat import (reference_kernels, reference_kernels_enabled,
+                     use_reference_kernels)
+from .fleet import FleetExecutionError, FleetResult, run_fleet
+from .seeds import chip_seed, ladder_seed, module_seed, seed_ladder
+from .specs import CampaignOutcome, CampaignSpec
+
+__all__ = [
+    "CampaignOutcome", "CampaignSpec", "FleetExecutionError",
+    "FleetResult", "run_fleet",
+    "ladder_seed", "chip_seed", "module_seed", "seed_ladder",
+    "reference_kernels", "reference_kernels_enabled",
+    "use_reference_kernels",
+]

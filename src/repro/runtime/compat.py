@@ -1,0 +1,26 @@
+"""Reference-kernel switch, re-exported for the runtime package.
+
+The optimized campaign engine (vectorized bank verification, memoized
+schedules and pattern batteries) is proven against the original
+per-cell loops, which are kept executable behind this switch.  The
+differential test-suite and the fleet benchmark flip it to measure
+and verify the optimized path against the serial-path specification:
+
+    from repro.runtime.compat import reference_kernels
+
+    with reference_kernels():
+        baseline = run_parbor(chip, cfg, seed=7)   # original loops
+    optimized = run_parbor(chip, cfg, seed=7)      # vectorized
+    assert baseline.detected == optimized.detected
+
+The switch lives in the dependency-free :mod:`repro._kernels` so the
+DRAM substrate can consult it without importing this package.
+"""
+
+from __future__ import annotations
+
+from .._kernels import (reference_kernels, reference_kernels_enabled,
+                        use_reference_kernels)
+
+__all__ = ["reference_kernels", "reference_kernels_enabled",
+           "use_reference_kernels"]

@@ -1,0 +1,188 @@
+"""Fleet-campaign execution engine.
+
+:func:`run_fleet` runs a list of :class:`~repro.runtime.specs.CampaignSpec`
+targets either serially (``jobs <= 1``) or across a
+``ProcessPoolExecutor`` (``jobs > 1``), and guarantees that the two
+paths produce **identical** outcomes:
+
+* every target's randomness comes from seeds embedded in its spec, so
+  scheduling order cannot leak into results;
+* outcomes are keyed by submission index and returned in submission
+  order, regardless of completion order;
+* per-target statistics travel back with the outcome and are merged
+  with :meth:`repro.dram.controller.TestStats.merge`, so the fleet's
+  aggregate counters match a serial run exactly.
+
+Failures are retried: a worker that raises is given ``retries`` more
+attempts, and a worker that *dies* (``BrokenProcessPool``) triggers a
+pool rebuild with every unfinished target resubmitted.  Since specs
+are pure functions of their seeds, a retry cannot change the result -
+only recover it.
+"""
+
+from __future__ import annotations
+
+import gc
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..dram.controller import TestStats
+from .specs import CampaignOutcome, CampaignSpec
+
+__all__ = ["FleetResult", "FleetExecutionError", "run_fleet"]
+
+
+class FleetExecutionError(RuntimeError):
+    """A target kept failing after exhausting its retry budget."""
+
+    def __init__(self, spec: CampaignSpec, attempts: int,
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"campaign {spec.label()} failed {attempts} time(s); "
+            f"last error: {cause!r}")
+        self.spec = spec
+        self.attempts = attempts
+
+
+@dataclass
+class FleetResult:
+    """Ordered outcomes of a fleet run plus aggregate counters.
+
+    Attributes:
+        outcomes: one :class:`CampaignOutcome` per input spec, in the
+            input order.
+        stats: fleet-wide merged I/O counters.
+        jobs: worker count the fleet ran with.
+        attempts: total execution attempts (== number of targets when
+            nothing had to be retried).
+    """
+
+    outcomes: List[CampaignOutcome]
+    stats: TestStats = field(default_factory=TestStats)
+    jobs: int = 1
+    attempts: int = 0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def signatures(self) -> List[tuple]:
+        """Per-target digests for equivalence checks across ``jobs``."""
+        return [o.signature() for o in self.outcomes]
+
+    def comparisons(self) -> List[object]:
+        """The non-None ``comparison`` records, in fleet order."""
+        return [o.comparison for o in self.outcomes
+                if o.comparison is not None]
+
+
+def _execute_target(spec: CampaignSpec) -> CampaignOutcome:
+    """Worker entry point; must stay module-level for pickling."""
+    return spec.run()
+
+
+@contextmanager
+def _cow_friendly_fork() -> Iterator[None]:
+    """Freeze the gc heap while worker processes are forked.
+
+    On fork-start platforms every tracked object the parent holds is
+    shared copy-on-write with the workers; the first collection in a
+    worker touches all of their headers and copies the pages.  Parking
+    the parent's heap in the permanent generation for the duration of
+    the pool keeps forked workers from un-sharing it.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
+
+
+def _run_serial(specs: Sequence[CampaignSpec], retries: int
+                ) -> FleetResult:
+    outcomes: List[CampaignOutcome] = []
+    attempts_total = 0
+    for spec in specs:
+        last: Optional[BaseException] = None
+        for attempt in range(1 + retries):
+            attempts_total += 1
+            try:
+                outcomes.append(_execute_target(spec))
+                break
+            except Exception as exc:  # noqa: BLE001 - retried below
+                last = exc
+        else:
+            raise FleetExecutionError(spec, 1 + retries, last)
+    return FleetResult(outcomes=outcomes, jobs=1, attempts=attempts_total)
+
+
+def _run_parallel(specs: Sequence[CampaignSpec], jobs: int,
+                  retries: int) -> FleetResult:
+    outcomes: Dict[int, CampaignOutcome] = {}
+    attempts: Dict[int, int] = {i: 0 for i in range(len(specs))}
+    attempts_total = 0
+    pending = list(range(len(specs)))
+    failure: Optional[FleetExecutionError] = None
+
+    while pending and failure is None:
+        requeue: List[int] = []
+        # A dead worker poisons the whole pool (BrokenProcessPool on
+        # every outstanding future), so the pool lives inside the
+        # retry loop: each round gets a fresh, healthy pool.
+        with _cow_friendly_fork(), \
+                ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {i: pool.submit(_execute_target, specs[i])
+                       for i in pending}
+            for i, future in futures.items():
+                attempts[i] += 1
+                attempts_total += 1
+                try:
+                    outcomes[i] = future.result()
+                except (Exception, BrokenProcessPool) as exc:
+                    if attempts[i] > retries:
+                        failure = FleetExecutionError(
+                            specs[i], attempts[i], exc)
+                        break
+                    requeue.append(i)
+        pending = requeue
+    if failure is not None:
+        raise failure
+
+    ordered = [outcomes[i] for i in range(len(specs))]
+    return FleetResult(outcomes=ordered, jobs=jobs,
+                       attempts=attempts_total)
+
+
+def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
+              retries: int = 2) -> FleetResult:
+    """Run a fleet of campaign targets, serially or in parallel.
+
+    Args:
+        targets: campaign specs to execute.
+        jobs: worker processes; ``jobs <= 1`` (or a single target)
+            runs everything in the calling process.
+        retries: extra attempts granted to a failing target before
+            :class:`FleetExecutionError` is raised.
+
+    Returns:
+        A :class:`FleetResult` whose ``outcomes`` are in the order of
+        ``targets`` and identical for every value of ``jobs``.
+    """
+    specs = list(targets)
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if not specs:
+        return FleetResult(outcomes=[], jobs=max(1, jobs))
+
+    if jobs <= 1 or len(specs) == 1:
+        result = _run_serial(specs, retries)
+    else:
+        result = _run_parallel(specs, min(jobs, len(specs)), retries)
+    result.stats = TestStats.merge(o.stats for o in result.outcomes
+                                   if o.stats is not None)
+    return result

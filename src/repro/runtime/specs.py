@@ -1,0 +1,152 @@
+"""Picklable campaign specifications for fleet execution.
+
+A :class:`CampaignSpec` captures everything needed to rebuild and run
+one campaign target - vendor, seeds, geometry, configuration - as a
+small frozen value object.  Worker processes receive the *spec*, not
+the simulated chip: each worker reconstructs its chip from the spec's
+seeds, so the bytes shipped across the process boundary stay tiny and
+the outcome is a pure function of the spec.
+
+The two experiment kinds mirror the serial drivers exactly:
+
+* ``"characterize"`` - one chip, :func:`repro.core.detector.run_parbor`
+  (the ``repro characterize`` / Table 1 / Figure 11 path);
+* ``"compare"`` - one module, PARBOR vs. the equal-budget random test
+  (the ``repro compare`` / ``repro fleet`` / Figure 12/13 path).
+
+``spec.run()`` in a worker produces byte-identical results to calling
+the serial driver with the same seeds in the parent process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..core.config import ParborConfig
+from ..core.detector import ParborResult
+from ..dram.controller import TestStats
+
+__all__ = ["CampaignSpec", "CampaignOutcome"]
+
+Coord = Tuple[int, int, int, int]  # (chip, bank, row, sys_col)
+
+EXPERIMENTS = ("characterize", "compare")
+
+
+@dataclass
+class CampaignOutcome:
+    """What one campaign target produced.
+
+    Attributes:
+        spec: the spec that produced this outcome.
+        distances: final signed neighbour distances.
+        detected: coordinates flagged by the campaign (empty when the
+            sweep was skipped).
+        total_tests: the campaign's whole-chip test budget.
+        tests_per_level: recursion tests per level (Table 1 row).
+        stats: the campaign's merged I/O counters.
+        comparison: PARBOR vs. random comparison ("compare" only).
+        result: the full :class:`ParborResult` for downstream
+            reporting (levels, schedule, sample).
+    """
+
+    spec: "CampaignSpec"
+    distances: List[int]
+    detected: Set[Coord]
+    total_tests: int
+    tests_per_level: List[int]
+    stats: TestStats
+    comparison: Optional[object] = None
+    result: Optional[ParborResult] = None
+
+    def signature(self) -> Tuple:
+        """A comparable digest of the result-bearing fields.
+
+        Two outcomes are equivalent iff their signatures are equal;
+        the parallel-equivalence tests compare these across ``jobs``
+        settings.
+        """
+        return (self.spec.label(), tuple(self.distances),
+                self.total_tests, tuple(self.tests_per_level),
+                tuple(sorted(self.detected)))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One rebuildable campaign target.
+
+    Attributes:
+        experiment: ``"characterize"`` (single chip, neighbour search)
+            or ``"compare"`` (module, PARBOR vs. random).
+        vendor: vendor letter "A" | "B" | "C".
+        index: module index (used by "compare"; cosmetic otherwise).
+        build_seed: seed that manufactures the chip/module.
+        run_seed: seed of the campaign itself.
+        n_rows: rows per simulated bank.
+        sample_size: victim sample size when ``config`` is None
+            ("characterize" only; "compare" uses the driver default).
+        run_sweep: run the final neighbour-aware sweep
+            ("characterize" only; "compare" always sweeps).
+        config: full configuration override (wins over sample_size).
+    """
+
+    experiment: str
+    vendor: str
+    index: int = 1
+    build_seed: int = 0
+    run_seed: int = 0
+    n_rows: int = 128
+    sample_size: int = 2000
+    run_sweep: bool = True
+    config: Optional[ParborConfig] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENTS:
+            raise ValueError(f"unknown experiment {self.experiment!r}; "
+                             f"expected one of {EXPERIMENTS}")
+
+    def label(self) -> str:
+        return f"{self.experiment}:{self.vendor}{self.index}"
+
+    def run(self) -> CampaignOutcome:
+        """Rebuild the target from seeds and run its campaign.
+
+        Imports the drivers lazily so that unpickling a spec in a
+        worker never races module initialisation, and so that
+        ``repro.analysis`` can itself import this package.
+        """
+        if self.experiment == "characterize":
+            return self._run_characterize()
+        return self._run_compare()
+
+    def _run_characterize(self) -> CampaignOutcome:
+        from ..core.detector import run_parbor
+        from ..dram.vendors import vendor
+
+        profile = vendor(self.vendor)
+        chip = profile.make_chip(seed=self.build_seed, n_rows=self.n_rows)
+        cfg = self.config or ParborConfig(sample_size=self.sample_size)
+        result = run_parbor(chip, cfg, seed=self.run_seed,
+                            run_sweep=self.run_sweep)
+        return CampaignOutcome(
+            spec=self, distances=list(result.distances),
+            detected=set(result.detected),
+            total_tests=result.total_tests,
+            tests_per_level=list(result.recursion.tests_per_level),
+            stats=result.stats, result=result)
+
+    def _run_compare(self) -> CampaignOutcome:
+        from ..analysis.experiments import compare_module
+        from ..dram.vendors import make_module
+
+        module = make_module(self.vendor, self.index,
+                             seed=self.build_seed, n_rows=self.n_rows)
+        comparison, result = compare_module(module, seed=self.run_seed,
+                                            config=self.config)
+        return CampaignOutcome(
+            spec=self, distances=list(result.distances),
+            detected=set(result.detected),
+            total_tests=result.total_tests,
+            tests_per_level=list(result.recursion.tests_per_level),
+            stats=result.stats, comparison=comparison, result=result)

@@ -1,0 +1,78 @@
+"""TestStats aggregation across campaigns and worker processes."""
+
+import pickle
+
+from repro.dram.controller import TestStats as Stats
+from repro.dram.timing import DDR3_1600, DramTiming
+
+
+def _stats(tests=0, written=0, read=0, waits=0, timing=None):
+    s = Stats(_timing=timing or DDR3_1600)
+    s.tests, s.rows_written, s.rows_read, s.retention_waits = \
+        tests, written, read, waits
+    return s
+
+
+def test_merge_sums_every_counter():
+    merged = Stats.merge([_stats(1, 10, 20, 2), _stats(3, 5, 7, 11),
+                          _stats(0, 0, 1, 0)])
+    assert merged.tests == 4
+    assert merged.rows_written == 15
+    assert merged.rows_read == 28
+    assert merged.retention_waits == 13
+
+
+def test_merge_empty_iterable_gives_zero_record():
+    merged = Stats.merge([])
+    assert (merged.tests, merged.rows_written, merged.rows_read,
+            merged.retention_waits) == (0, 0, 0, 0)
+
+
+def test_merge_single_record_copies_rather_than_aliases():
+    original = _stats(2, 3, 4, 5)
+    merged = Stats.merge([original])
+    assert merged is not original
+    merged.tests += 100
+    assert original.tests == 2
+
+
+def test_merge_accepts_generators():
+    merged = Stats.merge(_stats(tests=i) for i in range(5))
+    assert merged.tests == 10
+
+
+def test_merge_takes_timing_from_first_record():
+    import dataclasses
+    slow = dataclasses.replace(
+        DDR3_1600, refresh_interval_ms=2 * DDR3_1600.refresh_interval_ms)
+    merged = Stats.merge([_stats(waits=1, timing=slow),
+                          _stats(waits=1)])
+    assert merged._timing is slow
+    # The estimate then uses the first record's refresh interval.
+    assert merged.estimated_time_ns() == \
+        merged.retention_waits * slow.refresh_interval_ms * 1e6
+
+
+def test_add_operator_delegates_to_merge():
+    total = _stats(1, 2, 3, 4) + _stats(10, 20, 30, 40)
+    assert (total.tests, total.rows_written, total.rows_read,
+            total.retention_waits) == (11, 22, 33, 44)
+
+
+def test_merge_survives_pickle_roundtrip():
+    """Fleet workers ship their counters back pickled."""
+    shipped = [pickle.loads(pickle.dumps(_stats(1, 2, 3, 4))),
+               pickle.loads(pickle.dumps(_stats(5, 6, 7, 8)))]
+    merged = Stats.merge(shipped)
+    assert (merged.tests, merged.rows_written, merged.rows_read,
+            merged.retention_waits) == (6, 8, 10, 12)
+
+
+def test_merge_is_associative():
+    a, b, c = _stats(1, 1, 1, 1), _stats(2, 2, 2, 2), _stats(4, 4, 4, 4)
+    left = (a + b) + c
+    right = a + (b + c)
+    assert (left.tests, left.rows_written, left.rows_read,
+            left.retention_waits) == \
+        (right.tests, right.rows_written, right.rows_read,
+         right.retention_waits)

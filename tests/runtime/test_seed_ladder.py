@@ -1,0 +1,125 @@
+"""Property-based tests of the SHA-256 seed ladder.
+
+The ladder is the determinism root of the fleet runtime: every
+campaign's randomness is a pure function of (root seed, identity
+path).  These tests pin down the properties the runtime relies on -
+injectivity, order independence, process/platform stability, and
+range - with hypothesis where the property is universal and exact
+constants where the guarantee is "this value never changes".
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import chip_seed, ladder_seed, module_seed, seed_ladder
+
+part = st.one_of(st.integers(min_value=-2**40, max_value=2**40),
+                 st.text(max_size=8))
+path = st.lists(part, max_size=5)
+root = st.integers(min_value=-2**40, max_value=2**63 - 1)
+
+
+@given(root, path)
+def test_seed_in_63_bit_range(root_seed, p):
+    seed = ladder_seed(root_seed, *p)
+    assert 0 <= seed < 2**63
+
+
+@given(root, path)
+def test_deterministic(root_seed, p):
+    assert ladder_seed(root_seed, *p) == ladder_seed(root_seed, *p)
+
+
+@given(root, path, path)
+def test_injective_on_distinct_paths(root_seed, p1, p2):
+    if p1 == p2:
+        assert ladder_seed(root_seed, *p1) == ladder_seed(root_seed, *p2)
+    else:
+        assert ladder_seed(root_seed, *p1) != ladder_seed(root_seed, *p2)
+
+
+@given(root, st.text(max_size=6), st.text(max_size=6))
+def test_no_concatenation_ambiguity(root_seed, a, b):
+    """("ab",) and ("a", "b") must never alias (length prefixing)."""
+    if (a + b,) != (a, b):
+        assert ladder_seed(root_seed, a + b) != ladder_seed(root_seed, a, b)
+
+
+@given(root, path)
+def test_order_independent_of_draw_history(root_seed, p):
+    """The seed depends only on the path, not on prior ladder use."""
+    before = ladder_seed(root_seed, *p)
+    for i in range(5):
+        ladder_seed(root_seed, "other", i)
+    assert ladder_seed(root_seed, *p) == before
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.permutations(
+    [("chip", "A", 0), ("chip", "B", 1), ("module", "C", 2)]))
+def test_path_set_seeds_independent_of_enumeration_order(root_seed, order):
+    seeds = {p: ladder_seed(root_seed, *p) for p in order}
+    expected = {p: ladder_seed(root_seed, *p)
+                for p in sorted(seeds)}
+    assert seeds == expected
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=1, max_value=16))
+def test_fleet_sizes_1_to_16_never_collide(root_seed, n):
+    seeds = []
+    for vendor in ("A", "B", "C"):
+        for i in range(n):
+            seeds.append(chip_seed(root_seed, vendor, i, "build"))
+            seeds.append(chip_seed(root_seed, vendor, i, "run"))
+    assert len(set(seeds)) == len(seeds)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=0, max_value=16))
+def test_seed_ladder_matches_elementwise(root_seed, n):
+    rungs = seed_ladder(root_seed, n, "stage")
+    assert rungs == [ladder_seed(root_seed, "stage", i) for i in range(n)]
+    assert len(set(rungs)) == len(rungs)
+
+
+def test_known_values_are_frozen():
+    """Changing these breaks reproducibility of recorded campaigns."""
+    assert ladder_seed(0) == 8355753865950210623
+    assert ladder_seed(2016, "chip", "A", 0, "build") == \
+        4685162828485611071
+    assert chip_seed(2016, "A", 0) == 4685162828485611071
+    assert module_seed(2016, "B", 3, "run") == 8349913051080603713
+    assert ladder_seed(7, "x", 1) == 5751183139008487530
+
+
+def test_stable_across_process_boundaries():
+    """A fresh interpreter derives the same seeds (no hash() salt)."""
+    code = ("from repro.runtime import ladder_seed; "
+            "print(ladder_seed(2016, 'chip', 'A', 0, 'build'))")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    out = subprocess.run([sys.executable, "-c", code], env=env,
+                         capture_output=True, text=True, check=True)
+    assert int(out.stdout.strip()) == 4685162828485611071
+
+
+def test_rejects_unhashable_path_types():
+    import pytest
+    with pytest.raises(TypeError):
+        ladder_seed(0, 1.5)
+    with pytest.raises(TypeError):
+        ladder_seed(0, True)
+    with pytest.raises(TypeError):
+        ladder_seed(0, ("a",))
+
+
+def test_negative_ladder_length_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        seed_ladder(0, -1)

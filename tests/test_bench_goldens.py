@@ -1,0 +1,75 @@
+"""Golden-file tests for the paper-table benchmarks.
+
+Tiny-geometry versions of the Figure 11 / Table 1 / Figure 13
+benchmarks, diffed character-for-character against checked-in golden
+tables.  The full benchmarks assert paper-level facts; these goldens
+pin the *exact* output - any engine change that perturbs a seeded
+campaign (RNG draw order, scheduling, vectorization) shows up as a
+table diff long before it would move a paper-level number.
+
+Regenerate after an intentional behaviour change with:
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/test_bench_goldens.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis import (coverage_split, format_distance_set,
+                            format_percent, format_table,
+                            recursion_for_vendor)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDENS"))
+
+TINY = dict(seed=2016, n_rows=48, sample_size=500)
+
+
+def _check(name: str, text: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden {path}; run with REPRO_REGEN_GOLDENS=1")
+    assert text == path.read_text(), (
+        f"{name} drifted from its golden; if the change is intentional, "
+        f"regenerate with REPRO_REGEN_GOLDENS=1")
+
+
+@pytest.fixture(scope="module")
+def recursions():
+    return {name: recursion_for_vendor(name, **TINY)
+            for name in ("A", "B", "C")}
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_fig11_distances_golden(recursions, name):
+    result = recursions[name]
+    rows = [[f"L{lv.level}", lv.region_size,
+             format_distance_set(lv.kept_distances)]
+            for lv in result.recursion.levels]
+    _check(f"fig11_vendor_{name}", format_table(
+        ["Level", "Region size", "Neighbour-region distances"], rows))
+
+
+@pytest.mark.parametrize("name", ["A", "B", "C"])
+def test_table1_test_counts_golden(recursions, name):
+    result = recursions[name]
+    counts = result.recursion.tests_per_level
+    rows = [[name, *counts, sum(counts)]]
+    _check(f"table1_vendor_{name}", format_table(
+        ["Mfr", "L1", "L2", "L3", "L4", "L5", "Total"], rows))
+
+
+def test_fig13_coverage_golden():
+    splits = coverage_split(seed=2016, n_rows=48)
+    rows = [[s.module_id, format_percent(s.only_parbor),
+             format_percent(s.only_random), format_percent(s.both)]
+            for s in splits]
+    _check("fig13_coverage", format_table(
+        ["Module", "Only PARBOR", "Only random", "Both"], rows))

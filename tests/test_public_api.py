@@ -6,7 +6,8 @@ import inspect
 import pytest
 
 PACKAGES = ["repro", "repro.core", "repro.dram", "repro.sim",
-            "repro.dcref", "repro.mitigate", "repro.analysis"]
+            "repro.dcref", "repro.mitigate", "repro.analysis",
+            "repro.runtime"]
 
 
 @pytest.mark.parametrize("package", PACKAGES)
