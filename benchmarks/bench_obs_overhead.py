@@ -1,0 +1,66 @@
+"""Observability overhead: tracing off vs. on, identical outcomes.
+
+The ``repro.obs`` contract is *zero overhead when disabled* (the hooks
+are a global load plus a ``None`` check) and *no behavioural change
+when enabled* (spans wrap the existing statements; they never reorder
+them).  This benchmark times the same seeded campaign fleet with
+tracing off and on, asserts the outcomes are byte-identical, and
+reports the relative cost of collecting a full trace.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.runtime import CampaignSpec, chip_seed, run_fleet
+
+from ._report import report
+
+ROOT_SEED = 2016
+
+
+def _specs(trace):
+    return [
+        CampaignSpec(experiment="characterize", vendor=v, index=1,
+                     build_seed=chip_seed(ROOT_SEED, v, 0, "build"),
+                     run_seed=chip_seed(ROOT_SEED, v, 0, "run"),
+                     n_rows=96, sample_size=1000, run_sweep=False,
+                     trace=trace)
+        for v in ("A", "B", "C")
+    ]
+
+
+@pytest.mark.slow
+def test_obs_overhead(benchmark):
+    untraced = _specs(trace=False)
+    traced = _specs(trace=True)
+
+    def run_untraced():
+        return run_fleet(untraced, jobs=1)
+
+    t0 = time.perf_counter()
+    off = benchmark.pedantic(run_untraced, rounds=1, iterations=1)
+    t_off = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    on = run_fleet(traced, jobs=1)
+    t_on = time.perf_counter() - t0
+
+    # Tracing must not change what is computed.
+    assert off.signatures() == on.signatures()
+    assert off.stats.tests == on.stats.tests
+    assert on.metrics is not None
+    n_records = len(on.trace_records())
+    assert n_records > 0
+
+    overhead = (t_on / t_off - 1.0) * 100 if t_off > 0 else 0.0
+    rows = [
+        ["tracing off", f"{t_off:.2f} s", "baseline"],
+        ["tracing on", f"{t_on:.2f} s", f"{overhead:+.0f}%"],
+        ["trace records", f"{n_records}", ""],
+        ["outcomes", "byte-identical", ""],
+    ]
+    report("obs_overhead",
+           format_table(["Configuration", "Wall clock", "Delta"], rows))

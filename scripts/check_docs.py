@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (the CI docs job).
+
+Three passes over the prose:
+
+1. **Relative links resolve.** Every ``[text](target)`` markdown link
+   in the top-level docs and ``docs/*.md`` whose target is not an URL
+   or a pure anchor must point at an existing file or directory.
+2. **Documented CLI invocations parse.** Every ``python -m repro ...``
+   line inside a fenced code block must be accepted by the real
+   argument parser (``repro.cli.build_parser``), so command renames or
+   flag removals cannot silently strand the docs.
+3. **Referenced bench/test files exist.** Backtick references to
+   ``benchmarks/*.py`` and ``tests/...py`` paths must exist.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import shlex
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [ROOT / name for name in
+     ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+     if (ROOT / name).exists()]
+    + list((ROOT / "docs").glob("*.md")))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+CLI_RE = re.compile(r"^\s*python -m repro\b(.*)$")
+FILE_REF_RE = re.compile(r"`((?:benchmarks|tests|examples|scripts)/"
+                         r"[\w./-]+\.(?:py|txt))`")
+
+
+def check_links(path: pathlib.Path, text: str) -> list:
+    errors = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(ROOT)}: broken link "
+                          f"-> {target}")
+    return errors
+
+
+def check_cli_commands(path: pathlib.Path, text: str) -> list:
+    from repro.cli import build_parser
+
+    errors = []
+    for block in FENCE_RE.findall(text):
+        for line in block.splitlines():
+            match = CLI_RE.match(line)
+            if not match:
+                continue
+            argv = shlex.split(match.group(1), comments=True)
+            try:
+                build_parser().parse_args(argv)
+            except SystemExit:
+                errors.append(f"{path.relative_to(ROOT)}: documented "
+                              f"command does not parse: "
+                              f"python -m repro {' '.join(argv)}")
+    return errors
+
+
+def check_file_refs(path: pathlib.Path, text: str) -> list:
+    errors = []
+    for ref in FILE_REF_RE.findall(text):
+        if ref.startswith("benchmarks/results/"):
+            continue  # generated artefacts, not tracked
+        if not (ROOT / ref).exists():
+            errors.append(f"{path.relative_to(ROOT)}: referenced file "
+                          f"missing -> {ref}")
+    return errors
+
+
+def main() -> int:
+    errors = []
+    for path in DOC_FILES:
+        text = path.read_text()
+        errors += check_links(path, text)
+        errors += check_cli_commands(path, text)
+        errors += check_file_refs(path, text)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(ROOT)) for p in DOC_FILES)
+    print(f"checked {len(DOC_FILES)} documents ({checked}): "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

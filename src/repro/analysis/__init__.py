@@ -2,20 +2,20 @@
 
 from .experiments import (DEFAULT_N_ROWS, CoverageSplit, ModuleComparison,
                           compare_module, coverage_split, fleet_comparison,
-                          ranking_histogram, recursion_for_vendor,
-                          random_budget_sweep, sample_size_sweep,
-                          temperature_sensitivity)
+                          fleet_specs, ranking_histogram,
+                          recursion_for_vendor, random_budget_sweep,
+                          sample_size_sweep, temperature_sensitivity)
 from .ascii import grouped_hbar_chart, hbar_chart
 from .export import (campaign_to_json, comparisons_to_csv,
-                     comparisons_to_json, ranking_to_csv)
+                     comparisons_to_json, metrics_to_json, ranking_to_csv)
 from .tables import format_distance_set, format_percent, format_table
 
 __all__ = [
     "DEFAULT_N_ROWS", "CoverageSplit", "ModuleComparison", "compare_module",
-    "coverage_split", "fleet_comparison", "format_distance_set",
-    "format_percent", "format_table", "ranking_histogram",
-    "recursion_for_vendor", "sample_size_sweep",
-    "temperature_sensitivity", "random_budget_sweep", "campaign_to_json", "comparisons_to_csv",
-    "comparisons_to_json", "ranking_to_csv", "grouped_hbar_chart",
-    "hbar_chart",
+    "coverage_split", "fleet_comparison", "fleet_specs",
+    "format_distance_set", "format_percent", "format_table",
+    "ranking_histogram", "recursion_for_vendor", "sample_size_sweep",
+    "temperature_sensitivity", "random_budget_sweep", "campaign_to_json",
+    "comparisons_to_csv", "comparisons_to_json", "metrics_to_json",
+    "ranking_to_csv", "grouped_hbar_chart", "hbar_chart",
 ]

@@ -25,9 +25,9 @@ from ..runtime.specs import CampaignSpec
 
 __all__ = [
     "ModuleComparison", "CoverageSplit", "recursion_for_vendor",
-    "compare_module", "fleet_comparison", "coverage_split",
-    "ranking_histogram", "sample_size_sweep", "temperature_sensitivity",
-    "random_budget_sweep", "DEFAULT_N_ROWS",
+    "compare_module", "fleet_comparison", "fleet_specs",
+    "coverage_split", "ranking_histogram", "sample_size_sweep",
+    "temperature_sensitivity", "random_budget_sweep", "DEFAULT_N_ROWS",
 ]
 
 #: Rows per simulated bank in the fleet experiments. The paper's chips
@@ -93,14 +93,21 @@ def compare_module(module: DramModule, seed: int = 0,
     return comparison, result
 
 
-def _fleet_specs(modules_per_vendor: int, seed: int, n_rows: int,
-                 config: Optional[ParborConfig]) -> List[CampaignSpec]:
+def fleet_specs(modules_per_vendor: int, seed: int = 2016,
+                n_rows: int = DEFAULT_N_ROWS,
+                config: Optional[ParborConfig] = None,
+                trace: bool = False) -> List[CampaignSpec]:
     """Module-compare specs with the historical seed-draw order.
 
     The per-module seeds are drawn from one generator in the exact
     sequence the original serial loop used (build seed then run seed,
     vendors A/B/C outer, modules inner), so fleets stay byte-identical
     to the pre-runtime code for any ``jobs``.
+
+    Args:
+        trace: mark every spec for observability collection (the
+            ``--trace``/``--metrics`` CLI path); results are identical
+            either way.
     """
     rng = np.random.default_rng(seed)
     specs: List[CampaignSpec] = []
@@ -111,8 +118,12 @@ def _fleet_specs(modules_per_vendor: int, seed: int, n_rows: int,
             specs.append(CampaignSpec(
                 experiment="compare", vendor=name, index=i + 1,
                 build_seed=build_seed, run_seed=run_seed,
-                n_rows=n_rows, config=config))
+                n_rows=n_rows, config=config, trace=trace))
     return specs
+
+
+#: Backwards-compatible private alias (pre-observability name).
+_fleet_specs = fleet_specs
 
 
 def fleet_comparison(modules_per_vendor: int = 6, seed: int = 2016,
@@ -125,7 +136,7 @@ def fleet_comparison(modules_per_vendor: int = 6, seed: int = 2016,
         jobs: worker processes for the campaign fan-out; results are
             identical for every value (see :mod:`repro.runtime`).
     """
-    specs = _fleet_specs(modules_per_vendor, seed, n_rows, config)
+    specs = fleet_specs(modules_per_vendor, seed, n_rows, config)
     fleet = run_fleet(specs, jobs=jobs)
     return [o.comparison for o in fleet.outcomes]
 
@@ -156,7 +167,7 @@ def coverage_split(seed: int = 2016, n_rows: int = DEFAULT_N_ROWS,
                    config: Optional[ParborConfig] = None,
                    jobs: int = 1) -> List[CoverageSplit]:
     """Figure 13 for the first module of each vendor (A1, B1, C1)."""
-    fleet = run_fleet(_fleet_specs(1, seed, n_rows, config), jobs=jobs)
+    fleet = run_fleet(fleet_specs(1, seed, n_rows, config), jobs=jobs)
     return [CoverageSplit.from_comparison(o.comparison)
             for o in fleet.outcomes]
 

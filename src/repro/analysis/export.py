@@ -12,10 +12,11 @@ import json
 from typing import Dict, List, Sequence, TextIO
 
 from ..core.detector import ParborResult
+from ..obs import MetricsRegistry
 from .experiments import CoverageSplit, ModuleComparison
 
 __all__ = ["comparisons_to_csv", "comparisons_to_json",
-           "campaign_to_json", "ranking_to_csv"]
+           "campaign_to_json", "metrics_to_json", "ranking_to_csv"]
 
 
 def comparisons_to_csv(comparisons: Sequence[ModuleComparison],
@@ -84,6 +85,17 @@ def campaign_to_json(result: ParborResult, fh: TextIO) -> None:
             "tests": result.recovery.tests,
         }
     json.dump(payload, fh, indent=2)
+
+
+def metrics_to_json(metrics: MetricsRegistry, fh: TextIO) -> None:
+    """An observability metrics registry as JSON.
+
+    The payload is :meth:`MetricsRegistry.to_dict` - ``counters`` plus
+    ``histograms`` - sorted for diff-stable output.  Counters outside
+    the ``proc.`` namespace are identical for every ``--jobs`` value;
+    histograms carry wall-clock time and are not.
+    """
+    json.dump(metrics.to_dict(), fh, indent=2, sort_keys=True)
 
 
 def ranking_to_csv(histograms: Dict[int, Dict[int, float]],

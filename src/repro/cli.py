@@ -8,9 +8,13 @@ Commands map one-to-one onto the evaluation drivers:
   (Figure 12/13).
 * ``dcref`` - the refresh-policy comparison (Figure 16).
 * ``appendix`` - the test-time arithmetic.
+* ``report`` - render a ``--trace`` JSONL capture as breakdown tables
+  (see ``docs/OBSERVABILITY.md``).
 
 Every command prints a human table and optionally dumps machine-
-readable JSON with ``--json FILE``.
+readable JSON with ``--json FILE``.  ``characterize``, ``compare``,
+and ``fleet`` also accept ``--trace FILE`` / ``--metrics FILE`` to
+capture an observability record of the run (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -22,8 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from .analysis import (campaign_to_json, compare_module,
                        comparisons_to_csv, comparisons_to_json,
-                       fleet_comparison, format_distance_set,
-                       format_table)
+                       format_distance_set, format_table)
 from .core import (MARCH_B, MARCH_C_MINUS, MATS_PLUS, ParborConfig,
                    checkerboard, controllers_for, exhaustive_cost_table,
                    module_test_time_s, plan_campaign, reduction_factor,
@@ -49,13 +52,60 @@ def _dump_json(path: Optional[str], payload: Dict[str, Any]) -> None:
         json.dump(payload, fh, indent=2, sort_keys=True)
 
 
+def _fleet_trace_id(specs) -> str:
+    """Deterministic session ID for a CLI-observed fleet run."""
+    from .runtime.seeds import ladder_seed
+    first = specs[0]
+    digest = ladder_seed(first.build_seed, "trace", "fleet", len(specs),
+                         first.run_seed)
+    return f"fleet:{len(specs)}#{digest:016x}"
+
+
+def _run_fleet_observed(specs, args):
+    """Run a fleet, honouring ``--trace`` / ``--metrics`` when present.
+
+    Without either flag this is a plain :func:`run_fleet` call.  With
+    them, every spec is marked ``trace=True`` and the run happens
+    inside a parent observability session: in-process targets record
+    into the parent session directly, worker-process targets ship
+    their records back on the outcome, and the two streams are merged
+    before writing.  The campaign outcomes are identical either way.
+    """
+    from .runtime import run_fleet
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        return run_fleet(specs, jobs=args.jobs)
+
+    import dataclasses
+
+    from . import obs
+    from .obs.trace import write_jsonl
+
+    specs = [dataclasses.replace(s, trace=True) for s in specs]
+    with obs.session(_fleet_trace_id(specs), label="fleet") as sess:
+        fleet = run_fleet(specs, jobs=args.jobs)
+    records = sess.export_records() + fleet.trace_records()
+    if trace_path:
+        n = write_jsonl(trace_path, records)
+        print(f"wrote {n} trace records to {trace_path}")
+    if metrics_path:
+        from .analysis import metrics_to_json
+        merged = obs.MetricsRegistry.merge(
+            [sess.metrics, fleet.metrics])
+        with open(metrics_path, "w") as fh:
+            metrics_to_json(merged, fh)
+        print(f"wrote metrics to {metrics_path}")
+    return fleet
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from .runtime import CampaignSpec, run_fleet
+    from .runtime import CampaignSpec
     spec = CampaignSpec(experiment="characterize", vendor=args.vendor,
                         build_seed=args.seed, run_seed=args.seed + 1,
                         n_rows=args.rows, sample_size=args.sample,
                         run_sweep=False)
-    fleet = run_fleet([spec], jobs=args.jobs)
+    fleet = _run_fleet_observed([spec], args)
     result = fleet.outcomes[0].result
     rows = [[f"L{lv.level}", lv.region_size, lv.tests,
              format_distance_set(lv.kept_distances)]
@@ -75,11 +125,11 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from .runtime import CampaignSpec, run_fleet
+    from .runtime import CampaignSpec
     spec = CampaignSpec(experiment="compare", vendor=args.vendor, index=1,
                         build_seed=args.seed, run_seed=args.seed + 1,
                         n_rows=args.rows)
-    fleet = run_fleet([spec], jobs=args.jobs)
+    fleet = _run_fleet_observed([spec], args)
     comparison = fleet.outcomes[0].comparison
     result = fleet.outcomes[0].result
     rows = [
@@ -163,9 +213,11 @@ def _cmd_march(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    comparisons = fleet_comparison(
-        modules_per_vendor=args.modules_per_vendor, seed=args.seed,
-        n_rows=args.rows, jobs=args.jobs)
+    from .analysis import fleet_specs
+    specs = fleet_specs(args.modules_per_vendor, seed=args.seed,
+                        n_rows=args.rows)
+    fleet = _run_fleet_observed(specs, args)
+    comparisons = [o.comparison for o in fleet.outcomes]
     rows = [[c.module_id, c.budget, c.parbor_failures,
              c.random_failures, f"{c.extra_percent:+.1f}%"]
             for c in comparisons]
@@ -248,6 +300,26 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a ``--trace`` JSONL capture as breakdown tables."""
+    # Imported lazily: obs.report pulls in repro.analysis, which the
+    # always-imported repro.obs package deliberately does not.
+    from .obs.report import render_report, summarise
+    from .obs.trace import read_jsonl
+    try:
+        records = read_jsonl(args.trace_file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: {args.trace_file} holds no trace records",
+              file=sys.stderr)
+        return 2
+    print(render_report(records, include_timing=not args.no_timing))
+    _dump_json(args.json, summarise(records))
+    return 0
+
+
 def _cmd_appendix(args: argparse.Namespace) -> int:
     rows = [[f"O(n^{r.k_neighbours})", f"{r.tests:.3g}", r.human]
             for r in exhaustive_cost_table()]
@@ -266,6 +338,16 @@ def _cmd_appendix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--metrics`` for the fleet-backed commands."""
+    p.add_argument("--trace", metavar="FILE",
+                   help="capture an observability trace as JSON Lines "
+                        "(render it with `repro report FILE`)")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write the run's merged metrics registry as "
+                        "JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="worker processes (results are identical "
                         "for any value)")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("compare",
@@ -291,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="worker processes (results are identical "
                         "for any value)")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("dcref", help="refresh-policy comparison")
@@ -319,7 +403,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "for any value)")
     p.add_argument("--csv", metavar="FILE",
                    help="write per-module rows as CSV")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("report",
+                       help="render a --trace capture as breakdown "
+                            "tables")
+    p.add_argument("trace_file", metavar="TRACE",
+                   help="JSON Lines file written by --trace")
+    p.add_argument("--no-timing", action="store_true",
+                   help="omit the wall-clock sections (deterministic "
+                        "output for goldens/diffs)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("dataset",
                        help="generate the release dataset (per-module "

@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from .._kernels import reference_kernels_enabled
 from ..dram.chip import DramChip
 from ..dram.controller import MemoryController, TestStats
@@ -166,8 +167,15 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
     controllers = controllers_for(target)
     rng = np.random.default_rng(seed)
 
-    sample = find_initial_victims(controllers, config, rng)
-    recursion = recursive_neighbour_search(controllers, sample, config)
+    with obs.span("discovery") as discovery_span:
+        sample = find_initial_victims(controllers, config, rng)
+        discovery_span.set(victims=len(sample),
+                           tests=sample.n_discovery_tests,
+                           observed_failures=len(sample.observed_failures))
+    with obs.span("recursion") as recursion_span:
+        recursion = recursive_neighbour_search(controllers, sample, config)
+        recursion_span.set(tests=recursion.total_tests,
+                           distances=list(recursion.distances))
 
     result = ParborResult(
         distances=recursion.distances, recursion=recursion, sample=sample,
@@ -175,20 +183,34 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
         n_recursion_tests=recursion.total_tests)
 
     if run_sweep and recursion.distances:
-        schedule = build_schedule(controllers[0].row_bits,
-                                  recursion.distances,
-                                  scheme=config.scheduler)
-        result.schedule = schedule
-        result.n_sweep_rounds = schedule.total_rounds
-        result.detected = neighbour_aware_sweep(controllers, schedule)
+        with obs.span("sweep") as sweep_span:
+            schedule = build_schedule(controllers[0].row_bits,
+                                      recursion.distances,
+                                      scheme=config.scheduler)
+            result.schedule = schedule
+            result.n_sweep_rounds = schedule.total_rounds
+            result.detected = neighbour_aware_sweep(controllers, schedule)
+            sweep_span.set(scheme=schedule.scheme,
+                           rounds=schedule.total_rounds,
+                           detected=len(result.detected))
         if recover_remapped:
-            residual = [c for c in sample.coords()
-                        if c not in result.detected]
-            result.recovery = recover_irregular_victims(
-                controllers, residual, config)
-            result.detected.update(result.recovery.recovered_coords())
+            with obs.span("recovery") as recovery_span:
+                residual = [c for c in sample.coords()
+                            if c not in result.detected]
+                result.recovery = recover_irregular_victims(
+                    controllers, residual, config)
+                result.detected.update(result.recovery.recovered_coords())
+                recovery_span.set(attempted=result.recovery.attempted,
+                                  recovered=len(result.recovery),
+                                  tests=result.recovery.tests)
         # Discovery-phase failures are part of the campaign's budget
         # and therefore of its detections.
         result.detected |= sample.observed_failures
     result.stats = TestStats.merge(c.stats for c in controllers)
+    if obs.enabled():
+        obs.inc("tests.discovery", result.n_discovery_tests)
+        obs.inc("tests.recursion", result.n_recursion_tests)
+        obs.inc("tests.sweep", result.n_sweep_rounds)
+        obs.inc("tests.total", result.total_tests)
+        obs.inc("detected.failures", len(result.detected))
     return result

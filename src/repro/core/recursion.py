@@ -27,6 +27,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from .. import obs
 from .._kernels import reference_kernels_enabled
 from ..dram.controller import MemoryController
 from .config import ParborConfig
@@ -210,74 +211,89 @@ def recursive_neighbour_search(controllers: Sequence[MemoryController],
     prev_size = row_bits
 
     for li, size in enumerate(sizes):
-        fan = prev_size // size
-        n_regions = row_bits // size
-        groups = _group_victims(sample, active)
+        with obs.span("recursion.level", level=li + 1,
+                      region_size=size) as level_span:
+            fan = prev_size // size
+            n_regions = row_bits // size
+            groups = _group_victims(sample, active)
 
-        found: List[Set[int]] = [set() for _ in range(len(sample))]
-        tested = np.zeros(len(sample), dtype=np.int64)
-        v_prev_region = sample.col // prev_size
-        v_region = sample.col // size
-        tests = 0
+            found: List[Set[int]] = [set() for _ in range(len(sample))]
+            tested = np.zeros(len(sample), dtype=np.int64)
+            v_prev_region = sample.col // prev_size
+            v_region = sample.col // size
+            tests = 0
 
-        for d in candidate_dists:
-            parent = v_prev_region + d
-            in_range = (parent >= 0) & (parent < row_bits // prev_size)
-            for j in range(fan):
-                sub_abs = parent * fan + j
-                covered = active & in_range & (sub_abs >= 0) \
-                    & (sub_abs < n_regions)
-                # The size-1 "region" that is the victim itself cannot
-                # be tested against it.
-                if size == 1:
-                    covered &= sub_abs != sample.col
-                tests += 1
-                if not covered.any():
-                    continue
-                failed = _run_region_test(controllers, groups, sub_abs,
-                                          covered, sample, size)
-                tested[covered] += 1
-                for v in np.flatnonzero(failed & covered).tolist():
-                    found[v].add(int(sub_abs[v] - v_region[v]))
+            for d in candidate_dists:
+                parent = v_prev_region + d
+                in_range = (parent >= 0) & (parent < row_bits // prev_size)
+                for j in range(fan):
+                    sub_abs = parent * fan + j
+                    covered = active & in_range & (sub_abs >= 0) \
+                        & (sub_abs < n_regions)
+                    # The size-1 "region" that is the victim itself cannot
+                    # be tested against it.
+                    if size == 1:
+                        covered &= sub_abs != sample.col
+                    tests += 1
+                    if not covered.any():
+                        continue
+                    failed = _run_region_test(controllers, groups, sub_abs,
+                                              covered, sample, size)
+                    tested[covered] += 1
+                    for v in np.flatnonzero(failed & covered).tolist():
+                        found[v].add(int(sub_abs[v] - v_region[v]))
 
-        # Marginal filter (Section 5.2.4, first filter): a victim
-        # failing in most tested regions is noise, not data dependence.
-        # Failing in *every* tested region - even the two level-1
-        # halves - marks a content-independent cell (weak cell, leaky
-        # VRT) regardless of how few regions were tested, because a
-        # real victim's neighbours cannot be everywhere at once.
-        marginal = np.zeros(len(sample), dtype=bool)
-        for v in np.flatnonzero(active).tolist():
-            if tested[v] >= 2 and len(found[v]) == tested[v]:
-                marginal[v] = True
-            elif tested[v] >= 4 and (len(found[v])
-                                     > config.marginal_region_fraction
-                                     * tested[v]):
-                marginal[v] = True
-        active &= ~marginal
+            # Marginal filter (Section 5.2.4, first filter): a victim
+            # failing in most tested regions is noise, not data dependence.
+            # Failing in *every* tested region - even the two level-1
+            # halves - marks a content-independent cell (weak cell, leaky
+            # VRT) regardless of how few regions were tested, because a
+            # real victim's neighbours cannot be everywhere at once.
+            marginal = np.zeros(len(sample), dtype=bool)
+            for v in np.flatnonzero(active).tolist():
+                if tested[v] >= 2 and len(found[v]) == tested[v]:
+                    marginal[v] = True
+                elif tested[v] >= 4 and (len(found[v])
+                                         > config.marginal_region_fraction
+                                         * tested[v]):
+                    marginal[v] = True
+            active &= ~marginal
 
-        reporters: Dict[int, int] = {}
-        for v in np.flatnonzero(active).tolist():
-            for dist in found[v]:
-                reporters[dist] = reporters.get(dist, 0) + 1
-        outcome: RankingOutcome = rank_distances(
-            reporters, n_active=int(active.sum()),
-            threshold=config.ranking_threshold)
+            reporters: Dict[int, int] = {}
+            for v in np.flatnonzero(active).tolist():
+                for dist in found[v]:
+                    reporters[dist] = reporters.get(dist, 0) + 1
+            outcome: RankingOutcome = rank_distances(
+                reporters, n_active=int(active.sum()),
+                threshold=config.ranking_threshold)
 
-        result.levels.append(LevelResult(
-            level=li + 1, region_size=size,
-            candidate_distances=list(candidate_dists), tests=tests,
-            reporters=reporters, kept_distances=outcome.kept,
-            discarded_marginal=int(marginal.sum()),
-            active_victims=int(active.sum())))
-        result.total_tests += tests
+            result.levels.append(LevelResult(
+                level=li + 1, region_size=size,
+                candidate_distances=list(candidate_dists), tests=tests,
+                reporters=reporters, kept_distances=outcome.kept,
+                discarded_marginal=int(marginal.sum()),
+                active_victims=int(active.sum())))
+            result.total_tests += tests
+            level_span.set(tests=tests, kept=list(outcome.kept),
+                           candidates=len(candidate_dists),
+                           discarded_marginal=int(marginal.sum()),
+                           active_victims=int(active.sum()))
+            obs.inc(f"tests.level[{li + 1}]", tests)
 
-        candidate_dists = outcome.kept
-        prev_size = size
-        if not candidate_dists:
-            break
+            candidate_dists = outcome.kept
+            prev_size = size
+            if not candidate_dists:
+                break
 
     if result.levels and result.levels[-1].region_size == 1:
         result.distances = sorted(result.levels[-1].kept_distances,
                                   key=lambda d: (abs(d), d))
+    if obs.enabled() and result.distances:
+        # "Failures per distance": how many victims reported each
+        # surviving distance at the single-bit level (Figure 14's
+        # right-hand side, as a mergeable counter family).
+        final_reporters = result.levels[-1].reporters
+        for d in result.distances:
+            obs.inc(f"failures.distance[{d}]",
+                    final_reporters.get(d, 0))
     return result

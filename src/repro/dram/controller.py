@@ -15,11 +15,14 @@ parallelism is PARBOR's second key idea.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+from .._kernels import reference_kernels_enabled
 from .chip import DramChip
 from .timing import DDR3_1600, DramTiming
 
@@ -119,6 +122,45 @@ class MemoryController:
 
     # -- tests -------------------------------------------------------------
 
+    def _account_test(self, n_rows: int) -> None:
+        self.stats.rows_written += n_rows
+        self.stats.retention_waits += 1
+        self.stats.tests += 1
+        self.stats.rows_read += n_rows
+
+    def _run_test(self, kind: str, bank: int, n_rows: int,
+                  write: Callable[[], None],
+                  read: Callable[[], np.ndarray]) -> np.ndarray:
+        """Run one write -> wait -> read test, traced when obs is on.
+
+        The untraced branch is the exact pre-observability sequence;
+        the traced branch wraps the same calls in ``test`` /
+        ``phase.*`` spans and feeds the engine wall-time histogram.
+        Accounting and RNG draw order are identical on both branches.
+        """
+        sess = obs.active()
+        if sess is None:
+            write()
+            self._account_test(n_rows)
+            return read()
+        tracer = sess.tracer
+        t0 = time.perf_counter()
+        with tracer.span("test", kind=kind, bank=bank, rows=n_rows):
+            with tracer.span("phase.write"):
+                write()
+            with tracer.span(
+                    "phase.wait",
+                    retention_ms=self.timing.refresh_interval_ms):
+                pass  # the retention wait is simulated, not slept
+            with tracer.span("phase.read"):
+                observed = read()
+        self._account_test(n_rows)
+        engine = ("reference" if reference_kernels_enabled()
+                  else "vectorized")
+        sess.metrics.observe(f"io.test_ms[{engine}]",
+                             (time.perf_counter() - t0) * 1e3)
+        return observed
+
     def test_rows(self, bank: int, rows: np.ndarray,
                   data_sys: np.ndarray) -> np.ndarray:
         """One test over specific rows of one bank.
@@ -129,12 +171,10 @@ class MemoryController:
         """
         rows = np.asarray(rows)
         b = self.chip.bank(bank)
-        b.write_rows(rows, data_sys)
-        self.stats.rows_written += len(rows)
-        self.stats.retention_waits += 1
-        self.stats.tests += 1
-        self.stats.rows_read += len(rows)
-        return b.retention_read_rows(rows)
+        return self._run_test(
+            "rows", bank, len(rows),
+            lambda: b.write_rows(rows, data_sys),
+            lambda: b.retention_read_rows(rows))
 
     def test_rows_patched(self, bank: int, rows: np.ndarray, base: int,
                           spans: Optional[Tuple[np.ndarray, np.ndarray,
@@ -154,12 +194,54 @@ class MemoryController:
         """
         rows = np.asarray(rows)
         b = self.chip.bank(bank)
-        b.write_rows_patched(rows, base, spans=spans, points=points)
-        self.stats.rows_written += len(rows)
-        self.stats.retention_waits += 1
+        return self._run_test(
+            "patched", bank, len(rows),
+            lambda: b.write_rows_patched(rows, base, spans=spans,
+                                         points=points),
+            lambda: b.retention_check_cells(rows, check_row_idx,
+                                            check_cols))
+
+    def _whole_chip_test(self, data_sys: np.ndarray, kind: str
+                         ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Shared write-all / read-back loop of the whole-chip tests.
+
+        Per-bank write/read interleaving (and therefore the RNG draw
+        order of ``retention_failures``) is identical whether or not
+        tracing is active; the traced branch only wraps the same calls
+        in spans.
+        """
+        sess = obs.active()
+        failures: List[Tuple[np.ndarray, np.ndarray]] = []
+        if sess is None:
+            for bank in self.chip.banks:
+                bank.write_all(data_sys)
+                self.stats.rows_written += bank.n_rows
+                failures.append(bank.retention_failures())
+                self.stats.rows_read += bank.n_rows
+            self.stats.retention_waits += 1
+            self.stats.tests += 1
+            return failures
+        tracer = sess.tracer
+        t0 = time.perf_counter()
+        with tracer.span("test", kind=kind,
+                         banks=len(self.chip.banks)):
+            for bank_idx, bank in enumerate(self.chip.banks):
+                with tracer.span("phase.write", bank=bank_idx):
+                    bank.write_all(data_sys)
+                self.stats.rows_written += bank.n_rows
+                with tracer.span("phase.read", bank=bank_idx):
+                    failures.append(bank.retention_failures())
+                self.stats.rows_read += bank.n_rows
+            with tracer.span(
+                    "phase.wait",
+                    retention_ms=self.timing.refresh_interval_ms):
+                self.stats.retention_waits += 1
         self.stats.tests += 1
-        self.stats.rows_read += len(rows)
-        return b.retention_check_cells(rows, check_row_idx, check_cols)
+        engine = ("reference" if reference_kernels_enabled()
+                  else "vectorized")
+        sess.metrics.observe(f"io.test_ms[{engine}]",
+                             (time.perf_counter() - t0) * 1e3)
+        return failures
 
     def test_pattern(self, data_sys: np.ndarray
                      ) -> List[Tuple[np.ndarray, np.ndarray]]:
@@ -172,25 +254,9 @@ class MemoryController:
         their budgets are directly comparable.
         """
         data_sys = np.asarray(data_sys, dtype=np.uint8)
-        failures: List[Tuple[np.ndarray, np.ndarray]] = []
-        for bank in self.chip.banks:
-            bank.write_all(data_sys)
-            self.stats.rows_written += bank.n_rows
-            failures.append(bank.retention_failures())
-            self.stats.rows_read += bank.n_rows
-        self.stats.retention_waits += 1
-        self.stats.tests += 1
-        return failures
+        return self._whole_chip_test(data_sys, "pattern")
 
     def test_pattern_per_row(self, data_sys_rows: np.ndarray
                              ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """One whole-chip test with per-row patterns (2-D array)."""
-        failures: List[Tuple[np.ndarray, np.ndarray]] = []
-        for bank in self.chip.banks:
-            bank.write_all(data_sys_rows)
-            self.stats.rows_written += bank.n_rows
-            failures.append(bank.retention_failures())
-            self.stats.rows_read += bank.n_rows
-        self.stats.retention_waits += 1
-        self.stats.tests += 1
-        return failures
+        return self._whole_chip_test(data_sys_rows, "pattern_per_row")

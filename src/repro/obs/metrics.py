@@ -1,0 +1,123 @@
+"""Counters and histograms for campaign runs, mergeable across workers.
+
+A :class:`MetricsRegistry` is deliberately dumb storage - two dicts of
+plain values - so it pickles across the ``ProcessPoolExecutor``
+boundary and merges exactly the way
+:meth:`repro.dram.controller.TestStats.merge` merges I/O counters:
+each worker accumulates its own registry, the parent sums the shipped
+records, and the merged result equals what a serial run would have
+counted.
+
+Two kinds of instruments:
+
+* **counters** - monotonically increasing sums keyed by name.  Names
+  may carry a label in brackets (``"failures.distance[8]"``) to form
+  families.  Counters outside the ``proc.`` namespace are
+  **deterministic**: for a fixed spec list their merged values are
+  identical for every ``jobs`` setting (asserted by
+  ``tests/obs/test_metrics.py``).  ``proc.*`` counters (memoization
+  cache hits, pool rebuilds) depend on how work was sliced into
+  processes and are excluded from that guarantee.
+* **histograms** - ``{count, sum, min, max}`` summaries for measured
+  values (wall-clock times).  Their ``count`` fields are deterministic
+  when the underlying instrument fires per logical unit of work; the
+  ``sum/min/max`` are wall-clock and never reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters and histogram summaries."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            self.histograms[name] = {"count": 1, "sum": value,
+                                     "min": value, "max": value}
+            return
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def family(self, prefix: str) -> Dict[str, float]:
+        """Labelled members of a counter family, label -> value.
+
+        ``family("failures.distance")`` returns ``{"8": 12, ...}`` from
+        counters named ``failures.distance[8]`` etc.
+        """
+        out: Dict[str, float] = {}
+        head = prefix + "["
+        for name, value in self.counters.items():
+            if name.startswith(head) and name.endswith("]"):
+                out[name[len(head):-1]] = value
+        return out
+
+    def deterministic_counters(self) -> Dict[str, float]:
+        """Counters covered by the jobs-independence guarantee."""
+        return {name: value for name, value in self.counters.items()
+                if not name.startswith("proc.")}
+
+    # -- merging / serialisation ----------------------------------------
+
+    @classmethod
+    def merge(cls, registries: Iterable[Optional["MetricsRegistry"]]
+              ) -> "MetricsRegistry":
+        """Sum counters and fold histograms over several registries.
+
+        ``None`` entries are skipped so callers can pass outcome
+        streams where only workers attached metrics.
+        """
+        merged = cls()
+        for reg in registries:
+            if reg is None:
+                continue
+            for name, value in reg.counters.items():
+                merged.inc(name, value)
+            for name, hist in reg.histograms.items():
+                into = merged.histograms.get(name)
+                if into is None:
+                    merged.histograms[name] = dict(hist)
+                else:
+                    into["count"] += hist["count"]
+                    into["sum"] += hist["sum"]
+                    into["min"] = min(into["min"], hist["min"])
+                    into["max"] = max(into["max"], hist["max"])
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"counters": dict(self.counters),
+                "histograms": {k: dict(v)
+                               for k, v in self.histograms.items()}}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters.update(payload.get("counters", {}))
+        for name, hist in payload.get("histograms", {}).items():
+            reg.histograms[name] = dict(hist)
+        return reg
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.histograms)

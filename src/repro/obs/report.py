@@ -1,0 +1,249 @@
+"""Render a dumped trace back into human-readable tables.
+
+``repro report trace.jsonl`` loads the JSON Lines records written by
+``--trace`` and rebuilds the campaign story: one per-recursion-level
+table per campaign (the Table 1 view - for vendor A the test counts
+sum to the paper's 90), a per-vendor rollup, the fleet/worker
+lifecycle, merged metrics counters, and - unless ``--no-timing`` -
+wall-clock breakdowns of the write/wait/read phases and per-campaign
+durations.
+
+Deterministic content (tables driven by span attributes and
+counters) is emitted first and is stable across runs and ``--jobs``
+settings; timing sections are wall-clock and vary run to run, which
+is why the golden test and diff-friendly workflows use
+``--no-timing``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.ascii import hbar_chart
+from ..analysis.tables import format_distance_set, format_table
+from .metrics import MetricsRegistry
+
+__all__ = ["render_report", "summarise"]
+
+SpanKey = Tuple[str, int]
+
+PHASES = ("phase.write", "phase.wait", "phase.read")
+
+
+def _attrs(record: Dict[str, Any]) -> Dict[str, Any]:
+    return record.get("attrs", {})
+
+
+def _index_spans(records: Sequence[Dict[str, Any]]
+                 ) -> Dict[SpanKey, Dict[str, Any]]:
+    return {(r["trace"], r["span"]): r for r in records
+            if r.get("kind") == "span"}
+
+
+def _ancestor(span: Dict[str, Any], name: str,
+              index: Dict[SpanKey, Dict[str, Any]]
+              ) -> Optional[Dict[str, Any]]:
+    """Nearest enclosing span (inclusive) with the given name."""
+    seen = 0
+    current: Optional[Dict[str, Any]] = span
+    while current is not None and seen < 64:
+        if current["name"] == name:
+            return current
+        current = index.get((current["trace"], current["parent"]))
+        seen += 1
+    return None
+
+
+def _campaign_sections(records: Sequence[Dict[str, Any]],
+                       index: Dict[SpanKey, Dict[str, Any]]
+                       ) -> List[str]:
+    campaigns = [r for r in records if r.get("kind") == "span"
+                 and r["name"] == "campaign"]
+    # Stable, scheduling-independent order: by label then trace ID.
+    campaigns.sort(key=lambda r: (_attrs(r).get("label", ""),
+                                  r["trace"]))
+    levels_of: Dict[SpanKey, List[Dict[str, Any]]] = {}
+    for record in records:
+        if record.get("kind") == "span" \
+                and record["name"] == "recursion.level":
+            owner = _ancestor(record, "campaign", index)
+            if owner is not None:
+                key = (owner["trace"], owner["span"])
+                levels_of.setdefault(key, []).append(record)
+
+    sections: List[str] = []
+    for campaign in campaigns:
+        attrs = _attrs(campaign)
+        label = attrs.get("label", "campaign")
+        distances = attrs.get("distances", [])
+        head = (f"campaign {label}  "
+                f"[trace {campaign['trace']}]\n"
+                f"  distances {format_distance_set(distances)}, "
+                f"{attrs.get('total_tests', '?')} total tests, "
+                f"{attrs.get('detected', 0)} failures detected")
+        levels = sorted(levels_of.get(
+            (campaign["trace"], campaign["span"]), []),
+            key=lambda r: _attrs(r).get("level", 0))
+        if not levels:
+            sections.append(head)
+            continue
+        rows: List[List[object]] = []
+        for level in levels:
+            la = _attrs(level)
+            rows.append([f"L{la.get('level')}", la.get("region_size"),
+                         la.get("tests"),
+                         format_distance_set(la.get("kept", [])),
+                         la.get("active_victims")])
+        total = sum(int(_attrs(lv).get("tests", 0)) for lv in levels)
+        rows.append(["total", "", total, "", ""])
+        table = format_table(
+            ["Level", "Region size", "Tests", "Kept distances",
+             "Active victims"], rows)
+        sections.append(head + "\n" + table)
+    return sections
+
+
+def _vendor_rollup(records: Sequence[Dict[str, Any]]) -> Optional[str]:
+    campaigns = [r for r in records if r.get("kind") == "span"
+                 and r["name"] == "campaign"]
+    if not campaigns:
+        return None
+    by_vendor: Dict[str, Dict[str, int]] = {}
+    for campaign in campaigns:
+        attrs = _attrs(campaign)
+        agg = by_vendor.setdefault(str(attrs.get("vendor", "?")),
+                                   {"campaigns": 0, "tests": 0,
+                                    "detected": 0})
+        agg["campaigns"] += 1
+        agg["tests"] += int(attrs.get("total_tests", 0))
+        agg["detected"] += int(attrs.get("detected", 0))
+    rows = [[vendor, agg["campaigns"], agg["tests"], agg["detected"]]
+            for vendor, agg in sorted(by_vendor.items())]
+    return "per-vendor rollup\n" + format_table(
+        ["Vendor", "Campaigns", "Total tests", "Detected"], rows)
+
+
+def _fleet_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
+    fleets = [r for r in records if r.get("kind") == "span"
+              and r["name"] == "fleet"]
+    events: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "event" \
+                and record["name"].startswith("fleet."):
+            events[record["name"]] = events.get(record["name"], 0) + 1
+    if not fleets and not events:
+        return None
+    rows: List[List[object]] = []
+    for fleet in fleets:
+        attrs = _attrs(fleet)
+        rows.append(["targets", attrs.get("targets", "?")])
+        rows.append(["jobs", attrs.get("jobs", "?")])
+        if "attempts" in attrs:
+            rows.append(["attempts", attrs["attempts"]])
+    for name in sorted(events):
+        rows.append([name, events[name]])
+    return "fleet\n" + format_table(["Quantity", "Value"], rows)
+
+
+def _merged_metrics(records: Sequence[Dict[str, Any]]
+                    ) -> MetricsRegistry:
+    return MetricsRegistry.merge(
+        MetricsRegistry.from_dict(r) for r in records
+        if r.get("kind") == "metrics")
+
+
+def _metrics_section(metrics: MetricsRegistry) -> Optional[str]:
+    if not metrics.counters:
+        return None
+    rows = [[name, f"{value:g}"]
+            for name, value in sorted(metrics.counters.items())]
+    return "metrics counters\n" + format_table(["Counter", "Value"],
+                                               rows)
+
+
+def _timing_sections(records: Sequence[Dict[str, Any]],
+                     metrics: MetricsRegistry) -> List[str]:
+    sections: List[str] = []
+    phase_ms: Dict[str, float] = {}
+    phase_n: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "span" and record["name"] in PHASES:
+            phase_ms[record["name"]] = (phase_ms.get(record["name"], 0.0)
+                                        + record["dur_ns"] / 1e6)
+            phase_n[record["name"]] = phase_n.get(record["name"], 0) + 1
+    if phase_ms:
+        ordered = {name: phase_ms[name] for name in PHASES
+                   if name in phase_ms}
+        rows = [[name, phase_n[name], f"{ms:.1f}"]
+                for name, ms in ordered.items()]
+        sections.append(
+            "phase wall clock\n"
+            + format_table(["Phase", "Count", "Total ms"], rows)
+            + "\n" + hbar_chart(ordered, width=30, fmt="{:.1f} ms"))
+
+    campaigns = [r for r in records if r.get("kind") == "span"
+                 and r["name"] == "campaign"]
+    if campaigns:
+        campaigns.sort(key=lambda r: (_attrs(r).get("label", ""),
+                                      r["trace"]))
+        rows = [[_attrs(c).get("label", "campaign"),
+                 f"{c['dur_ns'] / 1e6:.1f}"] for c in campaigns]
+        sections.append("campaign wall clock\n"
+                        + format_table(["Campaign", "ms"], rows))
+
+    if metrics.histograms:
+        rows = [[name, int(h["count"]), f"{h['sum']:.1f}",
+                 f"{h['min']:.2f}", f"{h['max']:.2f}"]
+                for name, h in sorted(metrics.histograms.items())]
+        sections.append("metrics histograms (ms)\n" + format_table(
+            ["Histogram", "Count", "Sum", "Min", "Max"], rows))
+    return sections
+
+
+def render_report(records: Sequence[Dict[str, Any]],
+                  include_timing: bool = True) -> str:
+    """Build the full ``repro report`` text from trace records."""
+    if not records:
+        return "empty trace"
+    index = _index_spans(records)
+    metrics = _merged_metrics(records)
+    sections = _campaign_sections(records, index)
+    for section in (_vendor_rollup(records), _fleet_section(records),
+                    _metrics_section(metrics)):
+        if section:
+            sections.append(section)
+    if include_timing:
+        sections.extend(_timing_sections(records, metrics))
+    if not sections:
+        return "no campaign spans found in trace"
+    return "\n\n".join(sections)
+
+
+def summarise(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Machine-readable digest of a trace (the ``--json`` payload)."""
+    index = _index_spans(records)
+    campaigns = []
+    for record in records:
+        if record.get("kind") != "span" or record["name"] != "campaign":
+            continue
+        attrs = _attrs(record)
+        levels = []
+        for level in records:
+            if level.get("kind") == "span" \
+                    and level["name"] == "recursion.level":
+                owner = _ancestor(level, "campaign", index)
+                if owner is record:
+                    levels.append(_attrs(level))
+        levels.sort(key=lambda a: a.get("level", 0))
+        campaigns.append({
+            "trace": record["trace"],
+            "label": attrs.get("label"),
+            "vendor": attrs.get("vendor"),
+            "total_tests": attrs.get("total_tests"),
+            "distances": attrs.get("distances"),
+            "detected": attrs.get("detected"),
+            "tests_per_level": [a.get("tests") for a in levels],
+        })
+    campaigns.sort(key=lambda c: (c["label"] or "", c["trace"]))
+    metrics = _merged_metrics(records)
+    return {"campaigns": campaigns, "metrics": metrics.to_dict()}

@@ -1,0 +1,194 @@
+"""Structured tracing for campaign runs (spans, events, JSON Lines).
+
+A :class:`Tracer` collects *records* - plain dicts - describing what a
+campaign did and when: nested **spans** (campaign -> recursion level ->
+write/wait/read phases) with monotonic start offsets and durations, and
+point-in-time **events** (fleet retries, schedule construction).  The
+records serialise to JSON Lines, one record per line, so traces can be
+appended, concatenated across worker processes, and streamed.
+
+Record schema (``schema`` version in the ``meta`` record):
+
+``meta``
+    ``{"kind": "meta", "trace": <id>, "schema": 1, "label": ...}`` -
+    one per tracer, first record.
+``span``
+    ``{"kind": "span", "trace": <id>, "name": ..., "span": <int id>,
+    "parent": <id or 0>, "t_ns": <start, monotonic, relative to the
+    tracer's birth>, "dur_ns": ..., "attrs": {...}}`` - emitted when
+    the span closes.
+``event``
+    ``{"kind": "event", "trace": <id>, "name": ..., "span":
+    <enclosing span id or 0>, "t_ns": ..., "attrs": {...}}``.
+``metrics``
+    one merged :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+    (written by the CLI so trace files are self-contained).
+
+The trace ID is derived from the campaign's **seed-ladder identity
+path** (see :meth:`repro.runtime.specs.CampaignSpec.trace_id`), so the
+same target traced on any machine, any worker process, any ``--jobs``
+setting gets the same ID.
+
+Timestamps are *monotonic* (``time.monotonic_ns``) and relative to the
+tracer's creation; each worker process carries its own clock base, so
+durations are comparable across processes but absolute offsets are
+only ordered within one trace ID.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["SCHEMA_VERSION", "NULL_SPAN", "Span", "Tracer",
+           "read_jsonl", "write_jsonl"]
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays (and other strays) for json.dump."""
+    if hasattr(value, "tolist"):         # numpy scalar or array
+        return value.tolist()
+    if isinstance(value, set):
+        return sorted(value)
+    return str(value)
+
+
+class Span:
+    """One open span; close it by leaving its ``with`` block.
+
+    Attributes set at open time (keyword arguments to
+    :meth:`Tracer.span`) and later via :meth:`set` are emitted in the
+    span's ``attrs`` when it closes.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs",
+                 "t0_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int, attrs: Dict[str, Any],
+                 t0_ns: int) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.t0_ns = t0_ns
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered while the span was open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close_span(self)
+        return False
+
+
+class _NullSpan:
+    """The do-nothing span every hook returns while tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span/event records for one trace ID, in memory.
+
+    Records are plain dicts (picklable - workers ship them back with
+    their :class:`~repro.runtime.specs.CampaignOutcome`); call
+    :func:`write_jsonl` to persist them.
+    """
+
+    def __init__(self, trace_id: str, label: str = "",
+                 clock: Callable[[], int] = time.monotonic_ns) -> None:
+        self.trace_id = trace_id
+        self.records: List[Dict[str, Any]] = []
+        self._clock = clock
+        self._t_base = clock()
+        self._stack: List[int] = []
+        self._next_id = 1
+        meta: Dict[str, Any] = {"kind": "meta", "trace": trace_id,
+                                "schema": SCHEMA_VERSION}
+        if label:
+            meta["label"] = label
+        self.records.append(meta)
+
+    def _now_ns(self) -> int:
+        return self._clock() - self._t_base
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span nested under the currently open one."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else 0
+        sp = Span(self, name, span_id, parent, attrs, self._now_ns())
+        self._stack.append(span_id)
+        return sp
+
+    def _close_span(self, sp: Span) -> None:
+        # An exception can unwind past inner spans whose __exit__ never
+        # ran (e.g. a generator abandoned mid-iteration); pop down to
+        # the closing span so nesting stays consistent.
+        while self._stack and self._stack[-1] != sp.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        record: Dict[str, Any] = {
+            "kind": "span", "trace": self.trace_id, "name": sp.name,
+            "span": sp.span_id, "parent": sp.parent_id,
+            "t_ns": sp.t0_ns, "dur_ns": self._now_ns() - sp.t0_ns,
+        }
+        if sp.attrs:
+            record["attrs"] = sp.attrs
+        self.records.append(record)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event under the current span."""
+        record: Dict[str, Any] = {
+            "kind": "event", "trace": self.trace_id, "name": name,
+            "span": self._stack[-1] if self._stack else 0,
+            "t_ns": self._now_ns(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self.records.append(record)
+
+
+def write_jsonl(path: str, records: Iterable[Dict[str, Any]]) -> int:
+    """Write records as JSON Lines; returns the number written."""
+    n = 0
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True,
+                                default=_jsonable))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON Lines trace file back into a record list."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

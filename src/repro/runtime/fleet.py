@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from .. import obs
 from ..dram.controller import TestStats
 from .specs import CampaignOutcome, CampaignSpec
 
@@ -58,15 +59,25 @@ class FleetResult:
         jobs: worker count the fleet ran with.
         attempts: total execution attempts (== number of targets when
             nothing had to be retried).
+        metrics: merged worker metrics registries (None unless some
+            spec ran with ``trace=True`` in a worker process); merged
+            with :meth:`~repro.obs.MetricsRegistry.merge`, the same
+            aggregation path as :meth:`TestStats.merge`.
     """
 
     outcomes: List[CampaignOutcome]
     stats: TestStats = field(default_factory=TestStats)
     jobs: int = 1
     attempts: int = 0
+    metrics: Optional[obs.MetricsRegistry] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+    def trace_records(self) -> List[dict]:
+        """Worker-collected trace records, in fleet order."""
+        return [record for outcome in self.outcomes
+                for record in (outcome.trace_records or [])]
 
     def signatures(self) -> List[tuple]:
         """Per-target digests for equivalence checks across ``jobs``."""
@@ -114,6 +125,9 @@ def _run_serial(specs: Sequence[CampaignSpec], retries: int
                 break
             except Exception as exc:  # noqa: BLE001 - retried below
                 last = exc
+                obs.event("fleet.retry", target=spec.label(),
+                          attempt=attempt + 1, error=repr(exc))
+                obs.inc("proc.fleet.retries")
         else:
             raise FleetExecutionError(spec, 1 + retries, last)
     return FleetResult(outcomes=outcomes, jobs=1, attempts=attempts_total)
@@ -132,21 +146,35 @@ def _run_parallel(specs: Sequence[CampaignSpec], jobs: int,
         # A dead worker poisons the whole pool (BrokenProcessPool on
         # every outstanding future), so the pool lives inside the
         # retry loop: each round gets a fresh, healthy pool.
+        pool_broke = False
+        # obs.detach keeps fork-started workers from recording into
+        # the parent session's inherited (and discarded) copy.
         with _cow_friendly_fork(), \
-                ProcessPoolExecutor(max_workers=jobs) as pool:
+                ProcessPoolExecutor(max_workers=jobs,
+                                    initializer=obs.detach) as pool:
             futures = {i: pool.submit(_execute_target, specs[i])
                        for i in pending}
+            for i in pending:
+                obs.event("fleet.submit", target=specs[i].label())
             for i, future in futures.items():
                 attempts[i] += 1
                 attempts_total += 1
                 try:
                     outcomes[i] = future.result()
+                    obs.event("fleet.done", target=specs[i].label(),
+                              attempt=attempts[i])
                 except (Exception, BrokenProcessPool) as exc:
                     if attempts[i] > retries:
                         failure = FleetExecutionError(
                             specs[i], attempts[i], exc)
                         break
                     requeue.append(i)
+                    obs.event("fleet.retry", target=specs[i].label(),
+                              attempt=attempts[i], error=repr(exc))
+                    obs.inc("proc.fleet.retries")
+                    pool_broke |= isinstance(exc, BrokenProcessPool)
+        if pool_broke and requeue:
+            obs.inc("proc.fleet.pool_rebuilds")
         pending = requeue
     if failure is not None:
         raise failure
@@ -179,10 +207,16 @@ def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
     if not specs:
         return FleetResult(outcomes=[], jobs=max(1, jobs))
 
-    if jobs <= 1 or len(specs) == 1:
-        result = _run_serial(specs, retries)
-    else:
-        result = _run_parallel(specs, min(jobs, len(specs)), retries)
+    with obs.span("fleet", targets=len(specs), jobs=jobs) as fleet_span:
+        if jobs <= 1 or len(specs) == 1:
+            result = _run_serial(specs, retries)
+        else:
+            result = _run_parallel(specs, min(jobs, len(specs)), retries)
+        fleet_span.set(attempts=result.attempts)
     result.stats = TestStats.merge(o.stats for o in result.outcomes
                                    if o.stats is not None)
+    worker_metrics = [o.metrics for o in result.outcomes
+                      if o.metrics is not None]
+    if worker_metrics:
+        result.metrics = obs.MetricsRegistry.merge(worker_metrics)
     return result

@@ -21,11 +21,13 @@ the serial driver with the same seeds in the parent process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..core.config import ParborConfig
 from ..core.detector import ParborResult
 from ..dram.controller import TestStats
+from .seeds import ladder_seed
 
 __all__ = ["CampaignSpec", "CampaignOutcome"]
 
@@ -49,6 +51,12 @@ class CampaignOutcome:
         comparison: PARBOR vs. random comparison ("compare" only).
         result: the full :class:`ParborResult` for downstream
             reporting (levels, schedule, sample).
+        trace_records: span/event records collected by a worker-side
+            observability session (only when ``spec.trace`` and the
+            campaign ran outside an already-active session).
+        metrics: the worker-side metrics registry, merged fleet-wide
+            by :func:`repro.runtime.fleet.run_fleet` exactly like
+            :meth:`TestStats.merge` merges the I/O counters.
     """
 
     spec: "CampaignSpec"
@@ -59,6 +67,8 @@ class CampaignOutcome:
     stats: TestStats
     comparison: Optional[object] = None
     result: Optional[ParborResult] = None
+    trace_records: Optional[List[Dict[str, Any]]] = None
+    metrics: Optional["obs.MetricsRegistry"] = None
 
     def signature(self) -> Tuple:
         """A comparable digest of the result-bearing fields.
@@ -89,6 +99,11 @@ class CampaignSpec:
         run_sweep: run the final neighbour-aware sweep
             ("characterize" only; "compare" always sweeps).
         config: full configuration override (wins over sample_size).
+        trace: collect an observability trace for this target.  Inside
+            a worker process this opens a fresh session and ships the
+            records/metrics back on the outcome; in-process it joins
+            the caller's active session.  Results are bit-identical
+            either way.
     """
 
     experiment: str
@@ -100,6 +115,7 @@ class CampaignSpec:
     sample_size: int = 2000
     run_sweep: bool = True
     config: Optional[ParborConfig] = field(default=None, compare=False)
+    trace: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENTS:
@@ -109,6 +125,18 @@ class CampaignSpec:
     def label(self) -> str:
         return f"{self.experiment}:{self.vendor}{self.index}"
 
+    def trace_id(self) -> str:
+        """Stable trace identity: the seed-ladder path of this target.
+
+        The ID hashes the same identity components the seed ladder
+        uses (experiment, vendor, index, seeds), so the same target
+        traced in any process / on any machine / at any ``--jobs``
+        value carries the same trace ID.
+        """
+        digest = ladder_seed(self.build_seed, "trace", self.experiment,
+                             self.vendor, self.index, self.run_seed)
+        return f"{self.label()}#{digest:016x}"
+
     def run(self) -> CampaignOutcome:
         """Rebuild the target from seeds and run its campaign.
 
@@ -116,9 +144,43 @@ class CampaignSpec:
         worker never races module initialisation, and so that
         ``repro.analysis`` can itself import this package.
         """
+        if self.trace and not obs.enabled():
+            # Worker-side (or standalone) tracing: open a session for
+            # this one target and ship the records back picklably.
+            with obs.session(self.trace_id(),
+                             label=self.label()) as sess:
+                outcome = self._run_instrumented()
+            outcome.trace_records = sess.export_records()
+            outcome.metrics = sess.metrics
+            return outcome
+        if obs.enabled():
+            return self._run_instrumented()
+        return self._dispatch()
+
+    def _dispatch(self) -> CampaignOutcome:
         if self.experiment == "characterize":
             return self._run_characterize()
         return self._run_compare()
+
+    def _run_instrumented(self) -> CampaignOutcome:
+        """Run under the active session, inside a ``campaign`` span."""
+        with obs.span("campaign", label=self.label(),
+                      experiment=self.experiment, vendor=self.vendor,
+                      index=self.index, build_seed=self.build_seed,
+                      run_seed=self.run_seed,
+                      n_rows=self.n_rows) as campaign_span:
+            outcome = self._dispatch()
+            campaign_span.set(total_tests=outcome.total_tests,
+                              detected=len(outcome.detected),
+                              distances=list(outcome.distances))
+        obs.inc("campaigns")
+        obs.inc(f"campaigns.vendor[{self.vendor}]")
+        if outcome.stats is not None:
+            obs.inc("io.tests", outcome.stats.tests)
+            obs.inc("io.rows_written", outcome.stats.rows_written)
+            obs.inc("io.rows_read", outcome.stats.rows_read)
+            obs.inc("io.retention_waits", outcome.stats.retention_waits)
+        return outcome
 
     def _run_characterize(self) -> CampaignOutcome:
         from ..core.detector import run_parbor

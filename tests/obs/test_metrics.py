@@ -1,0 +1,102 @@
+"""MetricsRegistry: counters, histograms, merge, fleet determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.runtime import CampaignSpec, run_fleet
+
+TINY = dict(n_rows=48, sample_size=400)
+
+
+class TestRegistry:
+    def test_inc_and_counter(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2)
+        assert reg.counter("a") == 3
+        assert reg.counter("missing") == 0
+
+    def test_observe_folds_histogram(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            reg.observe("h", v)
+        hist = reg.histograms["h"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 6.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+
+    def test_family_parses_bracket_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("tests.level[1]", 2)
+        reg.inc("tests.level[2]", 8)
+        reg.inc("tests.total", 10)
+        assert reg.family("tests.level") == {"1": 2, "2": 8}
+
+    def test_deterministic_counters_excludes_proc(self):
+        reg = MetricsRegistry()
+        reg.inc("tests.total", 90)
+        reg.inc("proc.fleet.retries", 1)
+        det = reg.deterministic_counters()
+        assert "tests.total" in det
+        assert "proc.fleet.retries" not in det
+
+    def test_merge(self):
+        a = MetricsRegistry()
+        a.inc("c", 1)
+        a.observe("h", 1.0)
+        b = MetricsRegistry()
+        b.inc("c", 2)
+        b.observe("h", 5.0)
+        merged = MetricsRegistry.merge([a, None, b])
+        assert merged.counter("c") == 3
+        assert merged.histograms["h"]["count"] == 2
+        assert merged.histograms["h"]["max"] == 5.0
+
+    def test_round_trips_through_dict(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 4)
+        reg.observe("h", 2.5)
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.counters == reg.counters
+        assert back.histograms == reg.histograms
+
+
+class TestFleetMergeDeterminism:
+    """Cross-worker merged counters must match a serial traced run."""
+
+    @pytest.fixture(scope="class")
+    def specs(self):
+        base = CampaignSpec(experiment="characterize", vendor="A",
+                            build_seed=7, run_seed=11, run_sweep=False,
+                            trace=True, **TINY)
+        return [dataclasses.replace(base, vendor=v, run_seed=s)
+                for v, s in (("A", 11), ("B", 12), ("C", 13))]
+
+    def test_parallel_metrics_equal_serial(self, specs):
+        serial = run_fleet(specs, jobs=1)
+        parallel = run_fleet(specs, jobs=2)
+        assert serial.signatures() == parallel.signatures()
+        assert serial.metrics is not None
+        assert parallel.metrics is not None
+        assert (serial.metrics.deterministic_counters()
+                == parallel.metrics.deterministic_counters())
+
+    def test_merged_counters_match_outcome_stats(self, specs):
+        fleet = run_fleet(specs, jobs=2)
+        assert fleet.metrics.counter("io.tests") == fleet.stats.tests
+        assert (fleet.metrics.counter("io.rows_written")
+                == fleet.stats.rows_written)
+        assert fleet.metrics.counter("campaigns") == len(specs)
+
+    def test_trace_records_ride_back_from_workers(self, specs):
+        fleet = run_fleet(specs, jobs=2)
+        records = fleet.trace_records()
+        campaign_spans = [r for r in records if r["kind"] == "span"
+                          and r["name"] == "campaign"]
+        assert len(campaign_spans) == len(specs)
+        # Each worker session is keyed by the spec's ladder trace ID.
+        assert ({r["trace"] for r in campaign_spans}
+                == {s.trace_id() for s in specs})

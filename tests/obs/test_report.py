@@ -1,0 +1,100 @@
+"""``repro report``: end-to-end CLI golden at tiny geometry.
+
+Runs ``repro characterize --trace`` followed by ``repro report
+--no-timing`` and diffs the rendered breakdown character-for-character
+against a checked-in golden.  ``--no-timing`` drops the wall-clock
+sections, so the remaining output is a pure function of the seeds.
+
+Regenerate after an intentional change with:
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/obs/test_report.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import render_report, summarise
+from repro.obs.trace import read_jsonl
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "goldens"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDENS"))
+
+TINY_ARGS = ["--vendor", "A", "--rows", "48", "--sample", "500",
+             "--seed", "2016"]
+
+
+def _check(name: str, text: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden {path}; run with REPRO_REGEN_GOLDENS=1")
+    assert text == path.read_text(), (
+        f"{name} drifted from its golden; if the change is intentional, "
+        f"regenerate with REPRO_REGEN_GOLDENS=1")
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "characterize_A.jsonl"
+    rc = main(["characterize", *TINY_ARGS, "--trace", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestReportCommand:
+    def test_report_golden(self, trace_file, capsys):
+        capsys.readouterr()
+        rc = main(["report", str(trace_file), "--no-timing"])
+        assert rc == 0
+        _check("report_characterize_A", capsys.readouterr().out)
+
+    def test_report_counts_match_characterize(self, trace_file, tmp_path,
+                                              capsys):
+        """The report's level table re-derives the Table 1 counts."""
+        out = tmp_path / "c.json"
+        rc = main(["characterize", *TINY_ARGS, "--json", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        expected = json.loads(out.read_text())
+        summary = summarise(read_jsonl(trace_file))
+        campaign = summary["campaigns"][0]
+        assert campaign["tests_per_level"] == expected["tests_per_level"]
+        assert (sum(campaign["tests_per_level"])
+                == expected["total_tests"])
+
+    def test_report_json_summary(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        rc = main(["report", str(trace_file), "--no-timing",
+                   "--json", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["campaigns"][0]["label"] == "characterize:A1"
+        assert "metrics" in payload
+
+    def test_timing_sections_gated(self, trace_file):
+        records = read_jsonl(trace_file)
+        with_timing = render_report(records, include_timing=True)
+        without = render_report(records, include_timing=False)
+        assert "wall clock" in with_timing
+        assert "wall clock" not in without
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["report", str(empty)])
+        assert rc == 2
+        assert "no trace records" in capsys.readouterr().err

@@ -1,0 +1,122 @@
+"""Tracer: span nesting, JSONL round-trip, no-op hooks, sessions."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.trace import (NULL_SPAN, Tracer, read_jsonl, write_jsonl)
+
+
+class TestSpanNesting:
+    def test_parent_child_linkage(self):
+        tracer = Tracer("t#1", label="demo")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        spans = [r for r in tracer.records if r["kind"] == "span"]
+        # Children close (and are appended) before their parents.
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parent"] == by_name["outer"]["span"]
+        assert by_name["outer"]["parent"] == 0
+
+    def test_meta_record_first(self):
+        tracer = Tracer("t#2", label="demo")
+        meta = tracer.records[0]
+        assert meta["kind"] == "meta"
+        assert meta["trace"] == "t#2"
+
+    def test_monotonic_and_duration(self):
+        ticks = iter(range(0, 1000, 10))
+        tracer = Tracer("t#3", clock=lambda: next(ticks))
+        with tracer.span("a"):
+            pass
+        span = tracer.records[-1]
+        assert span["t_ns"] >= 0
+        assert span["dur_ns"] >= 0
+
+    def test_set_merges_attrs(self):
+        tracer = Tracer("t#4")
+        with tracer.span("a", x=1) as sp:
+            sp.set(y=2)
+        span = tracer.records[-1]
+        assert span["attrs"] == {"x": 1, "y": 2}
+
+    def test_event_carries_open_span_parent(self):
+        tracer = Tracer("t#5")
+        with tracer.span("outer"):
+            tracer.event("ping", n=3)
+        event = next(r for r in tracer.records if r["kind"] == "event")
+        assert event["name"] == "ping"
+        assert event["attrs"] == {"n": 3}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer("t#rt", label="demo")
+        with tracer.span("outer", vendor="A"):
+            with tracer.span("inner", level=np.int64(3)):
+                tracer.event("e", dists=np.array([8, -8]))
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(path, tracer.records)
+        assert n == len(tracer.records)
+        back = read_jsonl(path)
+        # numpy values are coerced to plain JSON scalars/lists.
+        inner = next(r for r in back if r.get("name") == "inner")
+        assert inner["attrs"]["level"] == 3
+        event = next(r for r in back if r["kind"] == "event")
+        assert event["attrs"]["dists"] == [8, -8]
+        assert [r["kind"] for r in back] == \
+            [r["kind"] for r in tracer.records]
+
+
+class TestNoOpHooks:
+    def test_disabled_hooks_do_nothing(self):
+        assert not obs.enabled()
+        assert obs.span("anything", x=1) is NULL_SPAN
+        obs.event("anything")       # must not raise
+        obs.inc("counter")
+        obs.observe("hist", 1.0)
+        assert obs.active() is None
+
+    def test_null_span_is_inert(self):
+        with obs.span("nope") as sp:
+            sp.set(x=1)
+        assert sp is NULL_SPAN
+
+
+class TestSession:
+    def test_session_activates_and_restores(self):
+        assert obs.active() is None
+        with obs.session("t#s", label="demo") as sess:
+            assert obs.active() is sess
+            obs.inc("c")
+            with obs.span("a"):
+                pass
+        assert obs.active() is None
+        assert sess.metrics.counters["c"] == 1
+        assert any(r["kind"] == "span" for r in sess.tracer.records)
+
+    def test_nested_session_joins_outer(self):
+        with obs.session("outer#1") as outer:
+            with obs.session("inner#2") as inner:
+                assert inner is outer
+
+    def test_session_restores_after_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.session("t#err"):
+                raise RuntimeError("boom")
+        assert obs.active() is None
+
+    def test_detach_clears_active(self):
+        with obs.session("t#d"):
+            obs.detach()
+            assert not obs.enabled()
+        assert obs.active() is None
+
+    def test_export_records_appends_metrics_snapshot(self):
+        with obs.session("t#m") as sess:
+            obs.inc("c", 2)
+        records = sess.export_records()
+        assert records[-1]["kind"] == "metrics"
+        assert records[-1]["counters"]["c"] == 2
