@@ -1,0 +1,85 @@
+"""Checkpoint journal overhead: must stay under 5% on a 16-target fleet.
+
+The journal writes one flushed (not fsynced) JSON line per completed
+target - bounded work per *target*, not per test, so its relative cost
+shrinks as campaigns grow.  This benchmark times the same seeded
+16-target fleet bare, with a checkpoint journal, and resumed from a
+complete journal, asserts the outcomes are byte-identical, and pins
+journal overhead below 5%.
+
+Timings are interleaved best-of-``ROUNDS``: on a loaded shared box the
+run-to-run noise of a ~4 s fleet exceeds the journal's real cost, and
+the minimum is the standard robust estimator for "how fast can this
+go" under external load.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.runtime import CampaignSpec, chip_seed, run_fleet
+
+from ._report import report
+
+ROOT_SEED = 2016
+N_TARGETS = 16
+ROUNDS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _specs():
+    return [
+        CampaignSpec(experiment="characterize", vendor="ABC"[i % 3],
+                     index=i, build_seed=chip_seed(ROOT_SEED, "ABC"[i % 3],
+                                                   i, "build"),
+                     run_seed=chip_seed(ROOT_SEED, "ABC"[i % 3], i, "run"),
+                     n_rows=64, sample_size=600, run_sweep=False)
+        for i in range(N_TARGETS)
+    ]
+
+
+def _timed(**kwargs):
+    t0 = time.perf_counter()
+    fleet = run_fleet(_specs(), jobs=1, **kwargs)
+    return time.perf_counter() - t0, fleet
+
+
+@pytest.mark.slow
+def test_checkpoint_overhead(benchmark, tmp_path):
+    def run_bare():
+        return run_fleet(_specs(), jobs=1)
+
+    t0 = time.perf_counter()
+    bare = benchmark.pedantic(run_bare, rounds=1, iterations=1)
+    t_bare = time.perf_counter() - t0
+    t_journaled = None
+    for r in range(ROUNDS):
+        ckpt = str(tmp_path / f"fleet-{r}.ckpt")
+        t, journaled = _timed(checkpoint=ckpt)
+        t_journaled = t if t_journaled is None else min(t_journaled, t)
+        t, _ = _timed()
+        t_bare = min(t_bare, t)
+    t_resumed, resumed = _timed(checkpoint=ckpt, resume=True)
+
+    # The journal must not change what is computed.
+    assert journaled.signatures() == bare.signatures()
+    assert resumed.signatures() == bare.signatures()
+    assert resumed.checkpoint_hits == N_TARGETS
+    assert resumed.attempts == 0
+
+    overhead = t_journaled / t_bare - 1.0
+    rows = [
+        ["no checkpoint", f"{t_bare:.2f} s", "baseline"],
+        ["checkpoint journal", f"{t_journaled:.2f} s",
+         f"{overhead * 100:+.1f}%"],
+        ["resume (all journaled)", f"{t_resumed:.2f} s",
+         f"{(t_resumed / t_bare - 1.0) * 100:+.1f}%"],
+        ["targets", f"{N_TARGETS}", ""],
+        ["outcomes", "byte-identical", ""],
+    ]
+    report("checkpoint_overhead",
+           format_table(["Configuration", "Wall clock", "Delta"], rows))
+    assert overhead < OVERHEAD_BUDGET, (
+        f"checkpoint journal cost {overhead * 100:.1f}% "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f}%)")

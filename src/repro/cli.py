@@ -61,6 +61,30 @@ def _fleet_trace_id(specs) -> str:
     return f"fleet:{len(specs)}#{digest:016x}"
 
 
+def _fleet_kwargs(args) -> Dict[str, Any]:
+    """Map the resilience CLI flags onto ``run_fleet`` keywords."""
+    kwargs: Dict[str, Any] = {"jobs": args.jobs}
+    checkpoint = getattr(args, "checkpoint", None)
+    if getattr(args, "resume", False) and not checkpoint:
+        raise SystemExit("error: --resume requires --checkpoint FILE")
+    if checkpoint:
+        kwargs["checkpoint"] = checkpoint
+        kwargs["resume"] = bool(getattr(args, "resume", False))
+    if getattr(args, "timeout", None) is not None:
+        kwargs["timeout_s"] = args.timeout
+    if getattr(args, "max_failures", None) is not None:
+        kwargs["strict"] = False
+        kwargs["max_failures"] = args.max_failures
+    return kwargs
+
+
+def _report_degraded(fleet) -> None:
+    """Print the per-target status table of a degraded fleet."""
+    if not fleet.ok:
+        from .runtime import render_degraded
+        print(render_degraded(fleet), file=sys.stderr)
+
+
 def _run_fleet_observed(specs, args):
     """Run a fleet, honouring ``--trace`` / ``--metrics`` when present.
 
@@ -70,12 +94,18 @@ def _run_fleet_observed(specs, args):
     into the parent session directly, worker-process targets ship
     their records back on the outcome, and the two streams are merged
     before writing.  The campaign outcomes are identical either way.
+    The resilience flags (``--checkpoint`` / ``--resume`` /
+    ``--timeout`` / ``--max-failures``) pass straight through to
+    :func:`run_fleet` in every mode.
     """
     from .runtime import run_fleet
+    kwargs = _fleet_kwargs(args)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     if not trace_path and not metrics_path:
-        return run_fleet(specs, jobs=args.jobs)
+        fleet = run_fleet(specs, **kwargs)
+        _report_degraded(fleet)
+        return fleet
 
     import dataclasses
 
@@ -84,7 +114,8 @@ def _run_fleet_observed(specs, args):
 
     specs = [dataclasses.replace(s, trace=True) for s in specs]
     with obs.session(_fleet_trace_id(specs), label="fleet") as sess:
-        fleet = run_fleet(specs, jobs=args.jobs)
+        fleet = run_fleet(specs, **kwargs)
+    _report_degraded(fleet)
     records = sess.export_records() + fleet.trace_records()
     if trace_path:
         n = write_jsonl(trace_path, records)
@@ -106,6 +137,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                         n_rows=args.rows, sample_size=args.sample,
                         run_sweep=False)
     fleet = _run_fleet_observed([spec], args)
+    if not fleet.outcomes:
+        return 1  # degraded away entirely; table already printed
     result = fleet.outcomes[0].result
     rows = [[f"L{lv.level}", lv.region_size, lv.tests,
              format_distance_set(lv.kept_distances)]
@@ -130,6 +163,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                         build_seed=args.seed, run_seed=args.seed + 1,
                         n_rows=args.rows)
     fleet = _run_fleet_observed([spec], args)
+    if not fleet.outcomes:
+        return 1  # degraded away entirely; table already printed
     comparison = fleet.outcomes[0].comparison
     result = fleet.outcomes[0].result
     rows = [
@@ -348,6 +383,24 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                         "JSON")
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    """Checkpoint/deadline flags for the fleet-backed commands."""
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="journal every completed target to FILE "
+                        "(JSON Lines) as soon as it finishes")
+    p.add_argument("--resume", action="store_true",
+                   help="load targets already completed in "
+                        "--checkpoint FILE instead of re-running them")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-target deadline in seconds; a hung "
+                        "worker is killed and the target retried")
+    p.add_argument("--max-failures", type=int, default=None,
+                   metavar="N",
+                   help="degrade gracefully: tolerate up to N failed "
+                        "targets (reported in a status table) instead "
+                        "of aborting on the first one")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -364,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (results are identical "
                         "for any value)")
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("compare",
@@ -375,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (results are identical "
                         "for any value)")
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("dcref", help="refresh-policy comparison")
@@ -404,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="FILE",
                    help="write per-module rows as CSV")
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("report",

@@ -16,15 +16,22 @@ the engine that makes such fleet campaigns cheap in the simulator:
   optimized engine is differentially tested against.
 """
 
+from .chaos import ChaosError, ChaosSpec, chaos_schedule, wrap_spec
 from .compat import (reference_kernels, reference_kernels_enabled,
                      use_reference_kernels)
 from .fleet import FleetExecutionError, FleetResult, run_fleet
+from .resilience import (CheckpointJournal, CheckpointMismatch,
+                         TargetError, TargetTimeout, backoff_delay,
+                         render_degraded)
 from .seeds import chip_seed, ladder_seed, module_seed, seed_ladder
 from .specs import CampaignOutcome, CampaignSpec
 
 __all__ = [
     "CampaignOutcome", "CampaignSpec", "FleetExecutionError",
     "FleetResult", "run_fleet",
+    "CheckpointJournal", "CheckpointMismatch", "TargetError",
+    "TargetTimeout", "backoff_delay", "render_degraded",
+    "ChaosError", "ChaosSpec", "chaos_schedule", "wrap_spec",
     "ladder_seed", "chip_seed", "module_seed", "seed_ladder",
     "reference_kernels", "reference_kernels_enabled",
     "use_reference_kernels",

@@ -1,0 +1,187 @@
+"""Deterministic chaos harness for the fleet runtime.
+
+Real memory-testing campaigns die in four characteristic ways: a
+worker process crashes outright, a worker hangs past any useful
+deadline, a transient infrastructure error surfaces as an exception,
+and - nastiest - a run completes but returns a silently corrupted
+result.  This module injects all four from a **seeded schedule**, so a
+chaos run is exactly as reproducible as a clean one and the recovery
+tests in ``tests/chaos`` can assert byte-identical outcomes.
+
+A :class:`ChaosSpec` wraps a normal
+:class:`~repro.runtime.specs.CampaignSpec` with an injection *plan*: a
+tuple naming the fault to fire on each execution attempt (``""`` for a
+clean attempt).  Attempt counting crosses process boundaries through a
+counter file under ``chaos_dir``, because a crashed worker cannot
+remember anything in memory.  Once the plan is exhausted the spec runs
+clean, so a fleet whose ``retries`` budget covers the plan always
+recovers - and because the wrapped spec's seeds are untouched, the
+recovered outcome is identical to an unperturbed run.
+
+:func:`chaos_schedule` derives a plan for every target from a root
+seed via the SHA-256 seed ladder: same seed, same faults, regardless
+of scheduling, ``--jobs``, or platform.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .seeds import ladder_seed
+from .specs import CampaignOutcome, CampaignSpec
+
+__all__ = ["FAULT_KINDS", "ChaosError", "ChaosSpec", "chaos_schedule",
+           "wrap_spec"]
+
+FAULT_KINDS = ("crash", "hang", "transient", "corrupt")
+
+CRASH_EXIT_CODE = 23
+
+
+class ChaosError(RuntimeError):
+    """An injected (deliberate) failure."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec(CampaignSpec):
+    """A campaign spec that injects scheduled faults when executed.
+
+    Attributes:
+        plan: fault to inject on each execution attempt (1-based);
+            ``""`` means the attempt runs clean, and attempts beyond
+            the plan always run clean.
+        chaos_dir: directory holding the cross-process attempt
+            counters (one file per spec); must exist.  An empty value
+            disables injection entirely.
+        hang_s: how long the ``"hang"`` fault sleeps.  Kept finite so
+            an unwatched chaos run eventually fails loudly instead of
+            stalling forever; a watchdog is expected to kill it first.
+
+    The identity fields (seeds, geometry) are inherited unchanged, so
+    ``label()``, ``checkpoint_key()`` and the outcome signature all
+    match the wrapped spec's - a recovered chaos target is
+    indistinguishable from a clean run of the original.
+    """
+
+    plan: Tuple[str, ...] = ()
+    chaos_dir: str = ""
+    hang_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for fault in self.plan:
+            if fault and fault not in FAULT_KINDS:
+                raise ValueError(f"unknown chaos fault {fault!r}; "
+                                 f"expected one of {FAULT_KINDS}")
+
+    def _counter_path(self) -> str:
+        return os.path.join(self.chaos_dir,
+                            self.checkpoint_key().replace(":", "_")
+                            + ".attempts")
+
+    def _next_attempt(self) -> int:
+        """Increment and return this spec's execution count (1-based).
+
+        The count lives on disk so it survives worker crashes; a spec
+        never runs concurrently with itself, so plain read-then-write
+        is race-free.
+        """
+        path = self._counter_path()
+        try:
+            with open(path) as fh:
+                count = int(fh.read().strip() or 0)
+        except FileNotFoundError:
+            count = 0
+        count += 1
+        with open(path, "w") as fh:
+            fh.write(str(count))
+        return count
+
+    def run(self) -> CampaignOutcome:
+        if not self.chaos_dir:
+            return super().run()
+        attempt = self._next_attempt()
+        fault = self.plan[attempt - 1] if attempt <= len(self.plan) else ""
+        if fault == "crash":
+            os._exit(CRASH_EXIT_CODE)  # simulates a segfaulting worker
+        if fault == "hang":
+            time.sleep(self.hang_s)
+            raise ChaosError(f"injected hang survived {self.hang_s:g} s "
+                             f"without a watchdog")
+        if fault == "transient":
+            raise ChaosError("injected transient fault")
+        outcome = super().run()
+        if fault == "corrupt":
+            # A silently wrong result: plausible shape, different
+            # signature.  Only checkpoint verification can catch it.
+            outcome.distances = list(outcome.distances) + [9999]
+        return outcome
+
+
+def wrap_spec(spec: CampaignSpec, plan: Sequence[str], chaos_dir: str,
+              hang_s: float = 60.0) -> ChaosSpec:
+    """A :class:`ChaosSpec` carrying ``spec``'s identity plus ``plan``."""
+    return ChaosSpec(
+        experiment=spec.experiment, vendor=spec.vendor, index=spec.index,
+        build_seed=spec.build_seed, run_seed=spec.run_seed,
+        n_rows=spec.n_rows, sample_size=spec.sample_size,
+        run_sweep=spec.run_sweep, config=spec.config, trace=spec.trace,
+        plan=tuple(plan), chaos_dir=chaos_dir, hang_s=hang_s)
+
+
+def chaos_schedule(seed: int, specs: Sequence[CampaignSpec],
+                   chaos_dir: str,
+                   faults: Sequence[str] = FAULT_KINDS,
+                   max_faults_per_target: int = 2,
+                   fault_rate: float = 0.75,
+                   hang_s: float = 60.0) -> list:
+    """Wrap ``specs`` with a seeded, scheduling-independent fault plan.
+
+    Every draw comes from ``ladder_seed(seed, "chaos", <target
+    identity>, ...)``, so the schedule depends only on the root seed
+    and each target's identity - never on list order or process
+    layout.
+
+    Args:
+        seed: chaos root seed.
+        specs: targets to perturb.
+        chaos_dir: scratch directory for the attempt counters.
+        faults: fault kinds to draw from (e.g. exclude ``"crash"`` for
+            in-process serial fleets, ``"corrupt"`` when no verifying
+            checkpoint will catch it).
+        max_faults_per_target: plan-length cap; keep it at or below
+            the fleet's ``retries`` so recovery is guaranteed.
+        fault_rate: probability (per plan slot) that a fault fires.
+        hang_s: sleep length of injected hangs.
+
+    Returns:
+        One :class:`ChaosSpec` per input spec, in input order.
+    """
+    if not 0 <= fault_rate <= 1:
+        raise ValueError("fault_rate must be in [0, 1]")
+    if max_faults_per_target < 0:
+        raise ValueError("max_faults_per_target must be non-negative")
+    faults = tuple(faults)
+    for fault in faults:
+        if fault not in FAULT_KINDS:
+            raise ValueError(f"unknown chaos fault {fault!r}")
+    scale = float(2 ** 63)
+    wrapped = []
+    for spec in specs:
+        identity = (spec.experiment, spec.vendor, spec.index,
+                    spec.run_seed)
+        plan = []
+        for slot in range(max_faults_per_target):
+            roll = ladder_seed(seed, "chaos", *identity, "fire",
+                               slot) / scale
+            if roll < fault_rate and faults:
+                pick = ladder_seed(seed, "chaos", *identity, "kind",
+                                   slot) % len(faults)
+                plan.append(faults[pick])
+            else:
+                plan.append("")
+        wrapped.append(wrap_spec(spec, plan, chaos_dir, hang_s=hang_s))
+    return wrapped

@@ -13,24 +13,49 @@ paths produce **identical** outcomes:
   with :meth:`repro.dram.controller.TestStats.merge`, so the fleet's
   aggregate counters match a serial run exactly.
 
-Failures are retried: a worker that raises is given ``retries`` more
-attempts, and a worker that *dies* (``BrokenProcessPool``) triggers a
-pool rebuild with every unfinished target resubmitted.  Since specs
-are pure functions of their seeds, a retry cannot change the result -
-only recover it.
+On top of that sits the resilience layer
+(:mod:`repro.runtime.resilience`):
+
+* **retries with deterministic backoff** - a target that raises is
+  given ``retries`` more attempts, delayed by seed-ladder-jittered
+  exponential backoff, so retry timing is as reproducible as the
+  results;
+* **checkpoints** - with ``checkpoint=...`` every completed outcome is
+  journaled immediately; ``resume=True`` loads finished targets from
+  the journal instead of re-running them, and ``resume="verify"``
+  re-runs them and requires byte-identical signatures (catching
+  silently corrupted results);
+* **deadlines** - with ``timeout_s=...`` a hung worker is killed (or,
+  serially, interrupted via ``SIGALRM``) and the target retried;
+* **graceful degradation** - with ``strict=False`` a target that
+  exhausts its budget becomes a :class:`TargetError` on the result
+  instead of aborting the fleet (bounded by ``max_failures``);
+* **crash isolation** - a dead worker poisons every outstanding future
+  with ``BrokenProcessPool``; the innocent casualties are requeued
+  *without* being charged an attempt, and the suspects are re-run one
+  at a time so only a target that crashes alone is charged.
+
+Since specs are pure functions of their seeds, a retry cannot change
+the result - only recover it.
 """
 
 from __future__ import annotations
 
 import gc
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, \
+    ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from .. import obs
 from ..dram.controller import TestStats
+from .resilience import (DEFAULT_BACKOFF_BASE, DEFAULT_BACKOFF_CAP,
+                         CheckpointJournal, CheckpointMismatch,
+                         TargetError, TargetTimeout, backoff_delay,
+                         deadline)
 from .specs import CampaignOutcome, CampaignSpec
 
 __all__ = ["FleetResult", "FleetExecutionError", "run_fleet"]
@@ -53,12 +78,22 @@ class FleetResult:
     """Ordered outcomes of a fleet run plus aggregate counters.
 
     Attributes:
-        outcomes: one :class:`CampaignOutcome` per input spec, in the
-            input order.
-        stats: fleet-wide merged I/O counters.
+        outcomes: one :class:`CampaignOutcome` per *successful* input
+            spec, in the input order.  In strict mode (the default)
+            every spec succeeds or the fleet raises, so this is one
+            outcome per spec; in degraded mode the targets listed in
+            ``errors`` have no outcome.
+        stats: fleet-wide merged I/O counters (successes only).
         jobs: worker count the fleet ran with.
-        attempts: total execution attempts (== number of targets when
-            nothing had to be retried).
+        attempts: total executions *started* (== number of targets
+            when nothing had to be retried).  Distinct from the
+            per-target retry budget, which is only charged for
+            failures attributable to that target - pool-break
+            casualties and checkpoint hits consume neither.
+        errors: per-target failure records (empty unless the fleet ran
+            with ``strict=False`` and a target exhausted its budget).
+        checkpoint_hits: targets restored from the checkpoint journal
+            instead of being executed.
         metrics: merged worker metrics registries (None unless some
             spec ran with ``trace=True`` in a worker process); merged
             with :meth:`~repro.obs.MetricsRegistry.merge`, the same
@@ -69,10 +104,17 @@ class FleetResult:
     stats: TestStats = field(default_factory=TestStats)
     jobs: int = 1
     attempts: int = 0
+    errors: List[TargetError] = field(default_factory=list)
+    checkpoint_hits: int = 0
     metrics: Optional[obs.MetricsRegistry] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every target produced an outcome."""
+        return not self.errors
 
     def trace_records(self) -> List[dict]:
         """Worker-collected trace records, in fleet order."""
@@ -112,88 +154,342 @@ def _cow_friendly_fork() -> Iterator[None]:
         gc.unfreeze()
 
 
-def _run_serial(specs: Sequence[CampaignSpec], retries: int
-                ) -> FleetResult:
-    outcomes: List[CampaignOutcome] = []
-    attempts_total = 0
-    for spec in specs:
-        last: Optional[BaseException] = None
-        for attempt in range(1 + retries):
-            attempts_total += 1
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every pool worker (the parallel-path watchdog's hammer).
+
+    Outstanding futures settle with ``BrokenProcessPool``; the caller
+    decides who gets charged.  Reaches into ``_processes`` because the
+    executor API deliberately offers no way to kill a hung worker.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.kill()
+
+
+class _FleetRun:
+    """Bookkeeping shared by the serial and parallel paths.
+
+    Owns the per-target attempt ledger, the checkpoint journal, the
+    degraded-mode error list, and the charge/complete/fail state
+    machine, so the two execution strategies differ only in *how* they
+    execute targets, never in how failures are accounted.
+    """
+
+    def __init__(self, specs: Sequence[CampaignSpec], retries: int,
+                 timeout_s: Optional[float], strict: bool,
+                 max_failures: Optional[int],
+                 journal: Optional[CheckpointJournal], verify: bool,
+                 backoff_base: float, backoff_cap: float) -> None:
+        self.specs = specs
+        self.retries = retries
+        self.timeout_s = timeout_s
+        self.strict = strict
+        self.max_failures = max_failures
+        self.journal = journal
+        self.verify = verify
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.outcomes: Dict[int, CampaignOutcome] = {}
+        self.errors: List[TargetError] = []
+        self.attempts: Dict[int, int] = {i: 0 for i in range(len(specs))}
+        self.attempts_total = 0
+        self.checkpoint_hits = 0
+
+    def load_checkpointed(self) -> List[int]:
+        """Restore journaled targets; return the indices left to run.
+
+        In ``verify`` mode nothing is restored - every journaled
+        target is re-executed and checked against its journal entry.
+        """
+        remaining: List[int] = []
+        for i, spec in enumerate(self.specs):
+            if (self.journal is not None and not self.verify
+                    and self.journal.has(spec)):
+                self.outcomes[i] = self.journal.outcome(spec)
+                self.checkpoint_hits += 1
+                obs.event("fleet.checkpoint_hit", target=spec.label())
+                obs.inc("proc.fleet.checkpoint_hits")
+            else:
+                remaining.append(i)
+        return remaining
+
+    def launch(self) -> None:
+        """Count one execution start (submission or serial attempt)."""
+        self.attempts_total += 1
+
+    def charge(self, i: int) -> int:
+        """Charge one budgeted attempt against target ``i``.
+
+        Called only for executions whose fate is attributable to the
+        target itself - success, exception, timeout, or a crash with
+        the target alone in flight.  Pool-break casualties are never
+        charged.
+        """
+        self.attempts[i] += 1
+        return self.attempts[i]
+
+    def complete(self, i: int, outcome: CampaignOutcome) -> None:
+        """Verify against the journal, record, and store an outcome."""
+        spec = self.specs[i]
+        if self.journal is not None and self.journal.has(spec):
+            if not self.journal.signature_matches(spec, outcome):
+                raise CheckpointMismatch(spec.label())
+            obs.inc("proc.fleet.verified")
+        elif self.journal is not None:
+            self.journal.record(spec, outcome)
+        self.outcomes[i] = outcome
+
+    def note_failure(self, i: int, exc: BaseException,
+                     kind: str) -> bool:
+        """Record a charged failed attempt; True if it may retry."""
+        spec = self.specs[i]
+        if kind == "timeout":
+            obs.event("fleet.timeout", target=spec.label(),
+                      attempt=self.attempts[i],
+                      timeout_s=self.timeout_s)
+            obs.inc("proc.fleet.timeouts")
+        elif kind == "corrupt":
+            obs.event("fleet.corrupt", target=spec.label(),
+                      attempt=self.attempts[i])
+            obs.inc("proc.fleet.corrupt_outcomes")
+        if self.attempts[i] <= self.retries:
+            obs.event("fleet.retry", target=spec.label(),
+                      attempt=self.attempts[i], error=repr(exc))
+            obs.inc("proc.fleet.retries")
+            return True
+        if self.strict:
+            raise FleetExecutionError(spec, self.attempts[i], exc)
+        self.errors.append(TargetError(
+            index=i, label=spec.label(), attempts=self.attempts[i],
+            kind=kind, error=repr(exc)))
+        obs.event("fleet.degraded", target=spec.label(),
+                  attempts=self.attempts[i], kind=kind, error=repr(exc))
+        obs.inc("proc.fleet.degraded_targets")
+        if (self.max_failures is not None
+                and len(self.errors) > self.max_failures):
+            raise FleetExecutionError(spec, self.attempts[i], exc)
+        return False
+
+    def retry_delay(self, i: int) -> float:
+        return backoff_delay(self.specs[i], self.attempts[i],
+                             self.backoff_base, self.backoff_cap)
+
+    def result(self, jobs: int) -> FleetResult:
+        ordered = [self.outcomes[i] for i in sorted(self.outcomes)]
+        return FleetResult(outcomes=ordered, jobs=jobs,
+                           attempts=self.attempts_total,
+                           errors=list(self.errors),
+                           checkpoint_hits=self.checkpoint_hits)
+
+
+def _run_serial(run: _FleetRun) -> FleetResult:
+    for i in run.load_checkpointed():
+        spec = run.specs[i]
+        while True:
+            run.launch()
+            run.charge(i)
+            kind = "exception"
             try:
-                outcomes.append(_execute_target(spec))
+                with deadline(run.timeout_s):
+                    outcome = _execute_target(spec)
+                run.complete(i, outcome)
                 break
+            except TargetTimeout as exc:
+                error: BaseException = exc
+                kind = "timeout"
+            except CheckpointMismatch as exc:
+                error = exc
+                kind = "corrupt"
             except Exception as exc:  # noqa: BLE001 - retried below
-                last = exc
-                obs.event("fleet.retry", target=spec.label(),
-                          attempt=attempt + 1, error=repr(exc))
-                obs.inc("proc.fleet.retries")
-        else:
-            raise FleetExecutionError(spec, 1 + retries, last)
-    return FleetResult(outcomes=outcomes, jobs=1, attempts=attempts_total)
+                error = exc
+            if not run.note_failure(i, error, kind):
+                break
+            delay = run.retry_delay(i)
+            if delay > 0:
+                time.sleep(delay)
+    return run.result(jobs=1)
 
 
-def _run_parallel(specs: Sequence[CampaignSpec], jobs: int,
-                  retries: int) -> FleetResult:
-    outcomes: Dict[int, CampaignOutcome] = {}
-    attempts: Dict[int, int] = {i: 0 for i in range(len(specs))}
-    attempts_total = 0
-    pending = list(range(len(specs)))
-    failure: Optional[FleetExecutionError] = None
+def _take_eligible(queue: List[int], gates: Dict[int, float]
+                   ) -> Optional[int]:
+    """Pop the first queued target whose backoff gate has passed."""
+    now = time.monotonic()
+    for position, i in enumerate(queue):
+        if gates.get(i, 0.0) <= now:
+            return queue.pop(position)
+    return None
 
-    while pending and failure is None:
-        requeue: List[int] = []
-        # A dead worker poisons the whole pool (BrokenProcessPool on
-        # every outstanding future), so the pool lives inside the
-        # retry loop: each round gets a fresh, healthy pool.
-        pool_broke = False
+
+def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
+    ready: List[int] = run.load_checkpointed()
+    # Targets implicated in an ambiguous pool break are re-run one at
+    # a time: a crash with a single target in flight has an
+    # unambiguous culprit, so only repeat-crashers are ever charged.
+    isolate: List[int] = []
+    gates: Dict[int, float] = {}
+
+    def requeue(i: int, queue: List[int]) -> None:
+        gates[i] = time.monotonic() + run.retry_delay(i)
+        queue.append(i)
+
+    while ready or isolate:
+        isolating = bool(isolate)
+        queue = isolate if isolating else ready
+        capacity = 1 if isolating else jobs
         # obs.detach keeps fork-started workers from recording into
         # the parent session's inherited (and discarded) copy.
         with _cow_friendly_fork(), \
-                ProcessPoolExecutor(max_workers=jobs,
+                ProcessPoolExecutor(max_workers=capacity,
                                     initializer=obs.detach) as pool:
-            futures = {i: pool.submit(_execute_target, specs[i])
-                       for i in pending}
-            for i in pending:
-                obs.event("fleet.submit", target=specs[i].label())
-            for i, future in futures.items():
-                attempts[i] += 1
-                attempts_total += 1
-                try:
-                    outcomes[i] = future.result()
-                    obs.event("fleet.done", target=specs[i].label(),
-                              attempt=attempts[i])
-                except (Exception, BrokenProcessPool) as exc:
-                    if attempts[i] > retries:
-                        failure = FleetExecutionError(
-                            specs[i], attempts[i], exc)
-                        break
-                    requeue.append(i)
-                    obs.event("fleet.retry", target=specs[i].label(),
-                              attempt=attempts[i], error=repr(exc))
-                    obs.inc("proc.fleet.retries")
-                    pool_broke |= isinstance(exc, BrokenProcessPool)
-        if pool_broke and requeue:
-            obs.inc("proc.fleet.pool_rebuilds")
-        pending = requeue
-    if failure is not None:
-        raise failure
-
-    ordered = [outcomes[i] for i in range(len(specs))]
-    return FleetResult(outcomes=ordered, jobs=jobs,
-                       attempts=attempts_total)
+            in_flight: Dict[Future, int] = {}
+            expiry: Dict[Future, float] = {}
+            broke = False
+            try:
+                while (queue or in_flight) and not broke:
+                    while queue and len(in_flight) < capacity:
+                        i = _take_eligible(queue, gates)
+                        if i is None:
+                            break
+                        gates.pop(i, None)
+                        future = pool.submit(_execute_target,
+                                             run.specs[i])
+                        run.launch()
+                        in_flight[future] = i
+                        if run.timeout_s:
+                            expiry[future] = (time.monotonic()
+                                              + run.timeout_s)
+                        obs.event("fleet.submit",
+                                  target=run.specs[i].label())
+                    if not in_flight:
+                        # Everything runnable is behind a backoff
+                        # gate; sleep until the earliest one opens.
+                        wake = min(gates[i] for i in queue)
+                        time.sleep(max(0.0, wake - time.monotonic()))
+                        continue
+                    timeout = None
+                    if expiry:
+                        timeout = max(0.0, min(expiry.values())
+                                      - time.monotonic())
+                    gated = [gates[i] for i in queue if i in gates]
+                    if gated and len(in_flight) < capacity:
+                        wake = max(0.0, min(gated) - time.monotonic())
+                        timeout = wake if timeout is None \
+                            else min(timeout, wake)
+                    done, _ = wait(set(in_flight), timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+                    crashed: List[int] = []
+                    crash_exc: Optional[BaseException] = None
+                    for future in done:
+                        i = in_flight.pop(future)
+                        expiry.pop(future, None)
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool as exc:
+                            crashed.append(i)
+                            crash_exc = exc
+                            continue
+                        except Exception as exc:  # noqa: BLE001
+                            run.charge(i)
+                            if run.note_failure(i, exc, "exception"):
+                                requeue(i, ready)
+                            continue
+                        run.charge(i)
+                        try:
+                            run.complete(i, outcome)
+                            obs.event("fleet.done",
+                                      target=run.specs[i].label(),
+                                      attempt=run.attempts[i])
+                        except CheckpointMismatch as exc:
+                            if run.note_failure(i, exc, "corrupt"):
+                                requeue(i, ready)
+                    if crashed:
+                        broke = True
+                        casualties = sorted(crashed
+                                            + list(in_flight.values()))
+                        in_flight.clear()
+                        expiry.clear()
+                        obs.inc("proc.fleet.pool_rebuilds")
+                        if len(casualties) == 1:
+                            # Alone in flight: unambiguous crasher.
+                            i = casualties[0]
+                            run.charge(i)
+                            if run.note_failure(i, crash_exc, "crash"):
+                                requeue(i, isolate)
+                        else:
+                            # Ambiguous: requeue everyone uncharged,
+                            # isolated so the next crash convicts.
+                            isolate.extend(casualties)
+                        continue
+                    if expiry:
+                        now = time.monotonic()
+                        expired = [f for f, t in expiry.items()
+                                   if t <= now]
+                        if expired:
+                            # Watchdog: the executor cannot cancel a
+                            # running task, so kill the workers and
+                            # rebuild.  Only the overdue targets are
+                            # charged; co-killed ones requeue free.
+                            _kill_pool(pool)
+                            broke = True
+                            obs.inc("proc.fleet.pool_rebuilds")
+                            overdue = sorted(in_flight.pop(f)
+                                             for f in expired)
+                            survivors = sorted(in_flight.values())
+                            in_flight.clear()
+                            expiry.clear()
+                            for i in overdue:
+                                run.charge(i)
+                                timeout_exc = TargetTimeout(
+                                    run.timeout_s)
+                                if run.note_failure(i, timeout_exc,
+                                                    "timeout"):
+                                    requeue(i, ready)
+                            ready.extend(survivors)
+            except BaseException:
+                # Strict failure or interrupt: do not let pool
+                # shutdown block on a worker that may be hung.
+                _kill_pool(pool)
+                raise
+    return run.result(jobs=jobs)
 
 
 def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
-              retries: int = 2) -> FleetResult:
+              retries: int = 2, *,
+              timeout_s: Optional[float] = None,
+              strict: bool = True,
+              max_failures: Optional[int] = None,
+              checkpoint: Optional[str] = None,
+              resume: Union[bool, str] = False,
+              backoff_base: float = DEFAULT_BACKOFF_BASE,
+              backoff_cap: float = DEFAULT_BACKOFF_CAP) -> FleetResult:
     """Run a fleet of campaign targets, serially or in parallel.
 
     Args:
         targets: campaign specs to execute.
         jobs: worker processes; ``jobs <= 1`` (or a single target)
             runs everything in the calling process.
-        retries: extra attempts granted to a failing target before
-            :class:`FleetExecutionError` is raised.
+        retries: extra attempts granted to a failing target before it
+            is declared failed.
+        timeout_s: per-target deadline; a worker exceeding it is
+            killed (serial path: interrupted via ``SIGALRM``) and the
+            target charged a ``timeout`` attempt.  ``None`` disables
+            the watchdog.
+        strict: with ``True`` (default) the first target to exhaust
+            its budget raises :class:`FleetExecutionError`; with
+            ``False`` it becomes a :class:`TargetError` on the result
+            and the fleet keeps going.
+        max_failures: in non-strict mode, abort once more than this
+            many targets have failed (``None`` = unlimited).
+        checkpoint: path of the JSON Lines checkpoint journal; every
+            completed outcome is flushed to it immediately.
+        resume: ``False`` starts a fresh journal; ``True`` loads
+            completed targets from ``checkpoint`` instead of
+            re-running them; ``"verify"`` re-runs them and requires
+            byte-identical signatures (a mismatch is a retryable
+            ``corrupt`` failure).
+        backoff_base: base delay of the deterministic exponential
+            retry backoff (seconds); ``0`` disables sleeping.
+        backoff_cap: upper bound on a single backoff delay.
 
     Returns:
         A :class:`FleetResult` whose ``outcomes`` are in the order of
@@ -204,15 +500,36 @@ def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
         raise ValueError("jobs must be non-negative")
     if retries < 0:
         raise ValueError("retries must be non-negative")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
+    if max_failures is not None and max_failures < 0:
+        raise ValueError("max_failures must be non-negative")
+    if resume not in (False, True, "verify"):
+        raise ValueError('resume must be False, True, or "verify"')
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint path")
     if not specs:
         return FleetResult(outcomes=[], jobs=max(1, jobs))
 
-    with obs.span("fleet", targets=len(specs), jobs=jobs) as fleet_span:
-        if jobs <= 1 or len(specs) == 1:
-            result = _run_serial(specs, retries)
-        else:
-            result = _run_parallel(specs, min(jobs, len(specs)), retries)
-        fleet_span.set(attempts=result.attempts)
+    journal = (CheckpointJournal(checkpoint, resume=bool(resume))
+               if checkpoint else None)
+    run = _FleetRun(specs, retries=retries, timeout_s=timeout_s,
+                    strict=strict, max_failures=max_failures,
+                    journal=journal, verify=(resume == "verify"),
+                    backoff_base=backoff_base, backoff_cap=backoff_cap)
+    try:
+        with obs.span("fleet", targets=len(specs),
+                      jobs=jobs) as fleet_span:
+            if jobs <= 1 or len(specs) == 1:
+                result = _run_serial(run)
+            else:
+                result = _run_parallel(run, min(jobs, len(specs)))
+            fleet_span.set(attempts=result.attempts)
+    finally:
+        # Journaled progress survives any exit - including interrupts
+        # and strict failures - so the next run can resume from it.
+        if journal is not None:
+            journal.close()
     result.stats = TestStats.merge(o.stats for o in result.outcomes
                                    if o.stats is not None)
     worker_metrics = [o.metrics for o in result.outcomes

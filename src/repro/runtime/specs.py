@@ -125,6 +125,23 @@ class CampaignSpec:
     def label(self) -> str:
         return f"{self.experiment}:{self.vendor}{self.index}"
 
+    def checkpoint_key(self) -> str:
+        """Deterministic signature keying this spec in a checkpoint.
+
+        Hashes every result-affecting field through the seed ladder's
+        canonical encoding (plus the ``config`` override's repr, which
+        is deterministic for the frozen config dataclass), so two
+        specs share a key iff they are guaranteed to produce the same
+        outcome.  Cosmetic fields (``trace``) are excluded.
+        """
+        parts: List[Any] = ["checkpoint", self.experiment, self.vendor,
+                            self.index, self.run_seed, self.n_rows,
+                            self.sample_size, int(self.run_sweep)]
+        if self.config is not None:
+            parts.append(repr(self.config))
+        digest = ladder_seed(self.build_seed, *parts)
+        return f"{self.label()}#{digest:016x}"
+
     def trace_id(self) -> str:
         """Stable trace identity: the seed-ladder path of this target.
 

@@ -1,0 +1,33 @@
+"""Shared fixtures for the chaos suite.
+
+Every test perturbs the same tiny three-vendor fleet (one campaign is
+~0.2 s at this geometry) and asserts recovery back to the
+session-scoped clean serial baseline.
+"""
+
+import pytest
+
+from repro.runtime import CampaignSpec, chip_seed, run_fleet
+
+ROOT_SEED = 13
+VENDORS = ("A", "B", "C")
+N_ROWS = 32
+SAMPLE_SIZE = 200
+
+
+def small_specs():
+    """The chaos suite's canonical fleet (fresh spec objects each call)."""
+    return [
+        CampaignSpec(experiment="characterize", vendor=v, index=1,
+                     build_seed=chip_seed(ROOT_SEED, v, 0, "build"),
+                     run_seed=chip_seed(ROOT_SEED, v, 0, "run"),
+                     n_rows=N_ROWS, sample_size=SAMPLE_SIZE,
+                     run_sweep=False)
+        for v in VENDORS
+    ]
+
+
+@pytest.fixture(scope="session")
+def clean_baseline():
+    """Unperturbed serial run every chaos scenario must reproduce."""
+    return run_fleet(small_specs(), jobs=1)
