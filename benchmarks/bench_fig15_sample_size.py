@@ -9,11 +9,16 @@ regions cleanly. Sample sizes are scaled to our bank geometry
 import pytest
 
 from repro.analysis import format_table, sample_size_sweep
+from repro.dram.faults import NoiseSpec
 
 from ._report import report
 
 TRUE_REGIONS = {"B": {0, -8, 8}, "C": {-2, 2, -4, 4, -6, 6}}
 SAMPLE_SIZES = (150, 600, 1500, 3000)
+
+NOISE = NoiseSpec(n_vrt_cells=4, vrt_fail_prob=0.9,
+                  n_marginal_cells=4, marginal_fail_prob=0.6,
+                  soft_error_rate=2e-6)
 
 
 @pytest.mark.parametrize("name", ["B", "C"])
@@ -41,3 +46,31 @@ def test_fig15_sample_size_sensitivity(benchmark, name):
     true_found = TRUE_REGIONS[name] & set(large)
     assert true_found
     assert min(large[d] for d in true_found) > noise_amplitude(large)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["B", "C"])
+def test_fig15_sample_size_stable_under_noise(benchmark, name):
+    """Figure 15 on a noisy device with robust verdicts: at every
+    sample size the true regions still outrank the noise tail once
+    ``rounds=3`` voting filters the flaky observations."""
+    sizes = SAMPLE_SIZES[1:3]  # the separating regime
+    sweep = benchmark.pedantic(
+        sample_size_sweep, args=(name, sizes),
+        kwargs=dict(level=4, seed=2016, n_rows=192, rounds=3,
+                    noise=NOISE),
+        rounds=1, iterations=1)
+
+    distances = sorted({d for hist in sweep.values() for d in hist})
+    rows = [[d] + [f"{sweep[s].get(d, 0.0):.3f}" for s in sizes]
+            for d in distances]
+    report(f"fig15_sample_size_robust_{name}1", format_table(
+        ["Distance"] + [f"n={s}" for s in sizes], rows))
+
+    for size in sizes:
+        hist = sweep[size]
+        true_found = TRUE_REGIONS[name] & set(hist)
+        tail = set(hist) - TRUE_REGIONS[name]
+        assert true_found, f"no true regions at n={size}"
+        assert (min(hist[d] for d in true_found)
+                > max((hist[d] for d in tail), default=0.0))

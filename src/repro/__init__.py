@@ -31,16 +31,18 @@ Quickstart::
     print(result.recursion.tests_per_level)   # -> [2, 8, 8, 24, 48]
 """
 
-from . import analysis, core, dcref, dram, mitigate, runtime, sim
+from . import analysis, core, dcref, dram, mitigate, robust, runtime, sim
 from .core import ParborConfig, ParborResult, run_parbor
 from .dram import DramChip, DramModule, MemoryController, vendor
+from .robust import QuarantineSet, RoundsPolicy
 from .runtime import CampaignSpec, run_fleet
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CampaignSpec", "DramChip", "DramModule", "MemoryController",
-    "ParborConfig", "ParborResult", "analysis", "core", "dcref", "dram",
-    "mitigate", "run_fleet", "run_parbor", "runtime", "sim", "vendor",
+    "ParborConfig", "ParborResult", "QuarantineSet", "RoundsPolicy",
+    "analysis", "core", "dcref", "dram", "mitigate", "robust",
+    "run_fleet", "run_parbor", "runtime", "sim", "vendor",
     "__version__",
 ]

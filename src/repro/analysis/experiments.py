@@ -39,17 +39,33 @@ DEFAULT_N_ROWS = 128
 def recursion_for_vendor(vendor_name: str, seed: int = 2016,
                          n_rows: int = DEFAULT_N_ROWS,
                          sample_size: int = 2000,
-                         config: Optional[ParborConfig] = None
-                         ) -> ParborResult:
+                         config: Optional[ParborConfig] = None,
+                         rounds: int = 1,
+                         noise=None) -> ParborResult:
     """Run PARBOR's neighbour search on one chip of a vendor.
 
     Drives Table 1 (tests per level) and Figure 11 (distances per
     level).
+
+    Args:
+        rounds: repeat-and-vote repetitions (``1`` = legacy).
+        noise: optional :class:`repro.dram.faults.NoiseSpec` - injects
+            a seeded device-noise model into every bank before the
+            campaign (the Figure 14/15 robustness goldens).
     """
     profile = vendor(vendor_name)
     chip = profile.make_chip(seed=seed, n_rows=n_rows)
+    if noise is not None:
+        from ..dram.faults import DeviceNoiseModel
+        from ..runtime.seeds import ladder_seed
+
+        for bank_idx, bank in enumerate(chip.banks):
+            bank.noise = DeviceNoiseModel(
+                noise, n_rows=bank.n_rows, row_bits=bank.row_bits,
+                seed=ladder_seed(seed, "device-noise", 0, bank_idx))
     cfg = config or ParborConfig(sample_size=sample_size)
-    return run_parbor(chip, cfg, seed=seed + 1, run_sweep=False)
+    return run_parbor(chip, cfg, seed=seed + 1, run_sweep=False,
+                      rounds=rounds)
 
 
 @dataclass
@@ -76,11 +92,16 @@ class ModuleComparison:
 
 
 def compare_module(module: DramModule, seed: int = 0,
-                   config: Optional[ParborConfig] = None
+                   config: Optional[ParborConfig] = None,
+                   rounds: int = 1
                    ) -> Tuple[ModuleComparison, ParborResult]:
-    """Run the full PARBOR campaign and the equal-budget random test."""
+    """Run the full PARBOR campaign and the equal-budget random test.
+
+    ``rounds > 1`` runs PARBOR with the repeat-and-vote policy; the
+    random baseline keeps the (now larger) equal budget.
+    """
     cfg = config or ParborConfig(sample_size=4000)
-    result = run_parbor(module, cfg, seed=seed)
+    result = run_parbor(module, cfg, seed=seed, rounds=rounds)
     controllers = controllers_for(module)
     rng = np.random.default_rng(seed + 7919)
     rand = random_pattern_test(controllers, n_tests=max(1, result.total_tests),
@@ -96,7 +117,8 @@ def compare_module(module: DramModule, seed: int = 0,
 def fleet_specs(modules_per_vendor: int, seed: int = 2016,
                 n_rows: int = DEFAULT_N_ROWS,
                 config: Optional[ParborConfig] = None,
-                trace: bool = False) -> List[CampaignSpec]:
+                trace: bool = False,
+                rounds: int = 1) -> List[CampaignSpec]:
     """Module-compare specs with the historical seed-draw order.
 
     The per-module seeds are drawn from one generator in the exact
@@ -108,6 +130,7 @@ def fleet_specs(modules_per_vendor: int, seed: int = 2016,
         trace: mark every spec for observability collection (the
             ``--trace``/``--metrics`` CLI path); results are identical
             either way.
+        rounds: repeat-and-vote repetitions (``1`` = legacy).
     """
     rng = np.random.default_rng(seed)
     specs: List[CampaignSpec] = []
@@ -118,7 +141,8 @@ def fleet_specs(modules_per_vendor: int, seed: int = 2016,
             specs.append(CampaignSpec(
                 experiment="compare", vendor=name, index=i + 1,
                 build_seed=build_seed, run_seed=run_seed,
-                n_rows=n_rows, config=config, trace=trace))
+                n_rows=n_rows, config=config, trace=trace,
+                rounds=rounds))
     return specs
 
 
@@ -174,10 +198,12 @@ def coverage_split(seed: int = 2016, n_rows: int = DEFAULT_N_ROWS,
 
 def ranking_histogram(vendor_name: str, level: int = 4, seed: int = 2016,
                       n_rows: int = DEFAULT_N_ROWS,
-                      sample_size: int = 2000) -> Dict[int, float]:
+                      sample_size: int = 2000, rounds: int = 1,
+                      noise=None) -> Dict[int, float]:
     """Figure 14: normalised frequency of region distances at a level."""
     result = recursion_for_vendor(vendor_name, seed=seed, n_rows=n_rows,
-                                  sample_size=sample_size)
+                                  sample_size=sample_size, rounds=rounds,
+                                  noise=noise)
     for lv in result.recursion.levels:
         if lv.level == level:
             return normalised_ranking(lv.reporters)
@@ -186,7 +212,8 @@ def ranking_histogram(vendor_name: str, level: int = 4, seed: int = 2016,
 
 def sample_size_sweep(vendor_name: str, sample_sizes: Sequence[int],
                       level: int = 4, seed: int = 2016,
-                      n_rows: int = 256) -> Dict[int, Dict[int, float]]:
+                      n_rows: int = 256, rounds: int = 1,
+                      noise=None) -> Dict[int, Dict[int, float]]:
     """Figure 15: ranking histograms for several initial sample sizes.
 
     The same module is re-tested with progressively larger victim
@@ -195,7 +222,8 @@ def sample_size_sweep(vendor_name: str, sample_sizes: Sequence[int],
     out: Dict[int, Dict[int, float]] = {}
     for size in sample_sizes:
         result = recursion_for_vendor(vendor_name, seed=seed,
-                                      n_rows=n_rows, sample_size=size)
+                                      n_rows=n_rows, sample_size=size,
+                                      rounds=rounds, noise=noise)
         for lv in result.recursion.levels:
             if lv.level == level:
                 out[size] = normalised_ranking(lv.reporters)

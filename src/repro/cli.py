@@ -135,10 +135,11 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     spec = CampaignSpec(experiment="characterize", vendor=args.vendor,
                         build_seed=args.seed, run_seed=args.seed + 1,
                         n_rows=args.rows, sample_size=args.sample,
-                        run_sweep=False)
+                        run_sweep=args.rounds > 1, rounds=args.rounds)
     fleet = _run_fleet_observed([spec], args)
     if not fleet.outcomes:
         return 1  # degraded away entirely; table already printed
+    _write_quarantine(args, fleet)
     result = fleet.outcomes[0].result
     rows = [[f"L{lv.level}", lv.region_size, lv.tests,
              format_distance_set(lv.kept_distances)]
@@ -148,12 +149,19 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
           f"{result.recursion.total_tests} tests")
     print(format_table(["Level", "Region size", "Tests", "Distances"],
                        rows))
-    _dump_json(args.json, {
+    payload = {
         "vendor": args.vendor,
         "distances": result.distances,
         "tests_per_level": result.recursion.tests_per_level,
         "total_tests": result.recursion.total_tests,
-    })
+    }
+    if args.rounds > 1 and result.verdicts is not None:
+        counts = result.verdicts.counts()
+        print(f"verdicts ({args.rounds} rounds): "
+              + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+        payload["verdicts"] = counts
+        payload["quarantined"] = len(result.quarantine)
+    _dump_json(args.json, payload)
     return 0
 
 
@@ -161,10 +169,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .runtime import CampaignSpec
     spec = CampaignSpec(experiment="compare", vendor=args.vendor, index=1,
                         build_seed=args.seed, run_seed=args.seed + 1,
-                        n_rows=args.rows)
+                        n_rows=args.rows, rounds=args.rounds)
     fleet = _run_fleet_observed([spec], args)
     if not fleet.outcomes:
         return 1  # degraded away entirely; table already printed
+    _write_quarantine(args, fleet)
     comparison = fleet.outcomes[0].comparison
     result = fleet.outcomes[0].result
     rows = [
@@ -178,6 +187,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
          f"{comparison.both}"],
         ["distances", format_distance_set(result.distances)],
     ]
+    if args.rounds > 1 and result.quarantine is not None:
+        rows.append(["quarantined (unstable)", len(result.quarantine)])
     print(format_table(["Quantity", "Value"], rows))
     _dump_json(args.json, {
         "module": comparison.module_id,
@@ -250,8 +261,9 @@ def _cmd_march(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .analysis import fleet_specs
     specs = fleet_specs(args.modules_per_vendor, seed=args.seed,
-                        n_rows=args.rows)
+                        n_rows=args.rows, rounds=args.rounds)
     fleet = _run_fleet_observed(specs, args)
+    _write_quarantine(args, fleet)
     comparisons = [o.comparison for o in fleet.outcomes]
     rows = [[c.module_id, c.budget, c.parbor_failures,
              c.random_failures, f"{c.extra_percent:+.1f}%"]
@@ -383,6 +395,35 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                         "JSON")
 
 
+def _add_robust_flags(p: argparse.ArgumentParser) -> None:
+    """``--rounds`` / ``--quarantine-out`` for campaign commands."""
+    p.add_argument("--rounds", type=int, default=1, metavar="N",
+                   help="repeat-and-vote repetitions per test round; "
+                        "1 (default) is the legacy single-pass path, "
+                        "N>1 classifies failures definite / "
+                        "probabilistic / unstable and quarantines "
+                        "the unstable ones")
+    p.add_argument("--quarantine-out", metavar="FILE",
+                   help="write the quarantined (unstable) cells as "
+                        "JSON, keyed by campaign label (requires "
+                        "--rounds > 1)")
+
+
+def _write_quarantine(args, fleet) -> None:
+    """Honour ``--quarantine-out`` for a finished fleet."""
+    path = getattr(args, "quarantine_out", None)
+    if not path:
+        return
+    if getattr(args, "rounds", 1) <= 1:
+        raise SystemExit("error: --quarantine-out requires --rounds > 1")
+    payload = {o.spec.label(): o.quarantine.to_json()
+               for o in fleet.outcomes if o.quarantine is not None}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote quarantine sets to {path}")
+
+
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
     """Checkpoint/deadline flags for the fleet-backed commands."""
     p.add_argument("--checkpoint", metavar="FILE",
@@ -418,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "for any value)")
     _add_obs_flags(p)
     _add_resilience_flags(p)
+    _add_robust_flags(p)
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("compare",
@@ -430,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "for any value)")
     _add_obs_flags(p)
     _add_resilience_flags(p)
+    _add_robust_flags(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("dcref", help="refresh-policy comparison")
@@ -460,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-module rows as CSV")
     _add_obs_flags(p)
     _add_resilience_flags(p)
+    _add_robust_flags(p)
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("report",

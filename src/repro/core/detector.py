@@ -58,6 +58,13 @@ class ParborResult:
         stats: merged per-chip I/O counters of the campaign's
             controllers (rows written/read, retention waits) - the
             record fleet runs aggregate across worker processes.
+        verdicts: per-cell vote ledger
+            (:class:`repro.robust.CellVerdicts`) when the campaign ran
+            with a repeat-and-vote policy (``rounds > 1``); None on
+            the legacy single-pass path.
+        quarantine: unstable cells
+            (:class:`repro.robust.QuarantineSet`); None on the legacy
+            path.
     """
 
     distances: List[int]
@@ -70,6 +77,8 @@ class ParborResult:
     schedule: Optional[TestSchedule] = None
     recovery: Optional[RecoveryResult] = None
     stats: Optional[TestStats] = None
+    verdicts: Optional[object] = None
+    quarantine: Optional[object] = None
 
     @property
     def total_tests(self) -> int:
@@ -145,7 +154,8 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
                config: ParborConfig = DEFAULT_CONFIG,
                seed: int = 0,
                run_sweep: bool = True,
-               recover_remapped: bool = False) -> ParborResult:
+               recover_remapped: bool = False,
+               rounds: Union[int, object] = 1) -> ParborResult:
     """Run the full PARBOR campaign.
 
     Args:
@@ -160,10 +170,23 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
             extension. Their aggressor maps land in
             ``result.recovery`` and the victims join
             ``result.detected``.
+        rounds: repeat-and-vote policy - an ``int`` repetition count
+            or a full :class:`repro.robust.RoundsPolicy`.  The default
+            (``1``) is the legacy single-pass path, byte-identical to
+            previous behaviour; ``rounds > 1`` re-runs each sweep
+            round (and failing recursion region tests) with
+            seed-ladder reseeding, classifies every failure as
+            definite / probabilistic / unstable, and fills
+            ``result.verdicts`` / ``result.quarantine``.
 
     Returns:
         A :class:`ParborResult`.
     """
+    from ..robust.verdicts import RoundsPolicy
+
+    policy = (RoundsPolicy(rounds=rounds) if isinstance(rounds, int)
+              else rounds)
+    robust = not policy.is_legacy
     controllers = controllers_for(target)
     rng = np.random.default_rng(seed)
 
@@ -173,7 +196,9 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
                            tests=sample.n_discovery_tests,
                            observed_failures=len(sample.observed_failures))
     with obs.span("recursion") as recursion_span:
-        recursion = recursive_neighbour_search(controllers, sample, config)
+        recursion = recursive_neighbour_search(
+            controllers, sample, config,
+            policy=policy if robust else None, seed=seed)
         recursion_span.set(tests=recursion.total_tests,
                            distances=list(recursion.distances))
 
@@ -181,6 +206,13 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
         distances=recursion.distances, recursion=recursion, sample=sample,
         n_discovery_tests=sample.n_discovery_tests,
         n_recursion_tests=recursion.total_tests)
+    if robust:
+        from ..robust.quarantine import QuarantineSet
+        from ..robust.verdicts import CellVerdicts
+
+        result.verdicts = CellVerdicts(rounds=policy.rounds,
+                                       policy=policy)
+        result.quarantine = QuarantineSet()
 
     if run_sweep and recursion.distances:
         with obs.span("sweep") as sweep_span:
@@ -188,10 +220,22 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
                                       recursion.distances,
                                       scheme=config.scheduler)
             result.schedule = schedule
-            result.n_sweep_rounds = schedule.total_rounds
-            result.detected = neighbour_aware_sweep(controllers, schedule)
+            if robust:
+                from ..robust.vote import robust_sweep
+
+                sweep = robust_sweep(controllers, schedule, policy,
+                                     seed=seed)
+                result.n_sweep_rounds = (sweep.rounds_executed
+                                         + sweep.control_rounds)
+                result.detected = sweep.detected
+                result.verdicts = sweep.verdicts
+                result.quarantine = sweep.quarantine
+            else:
+                result.n_sweep_rounds = schedule.total_rounds
+                result.detected = neighbour_aware_sweep(controllers,
+                                                        schedule)
             sweep_span.set(scheme=schedule.scheme,
-                           rounds=schedule.total_rounds,
+                           rounds=result.n_sweep_rounds,
                            detected=len(result.detected))
         if recover_remapped:
             with obs.span("recovery") as recovery_span:
@@ -205,7 +249,20 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
                                   tests=result.recovery.tests)
         # Discovery-phase failures are part of the campaign's budget
         # and therefore of its detections.
-        result.detected |= sample.observed_failures
+        if robust:
+            # Cells only the discovery battery (or the remap recovery)
+            # observed carry a single observation; control-clean ones
+            # count as probabilistic detections - matching the legacy
+            # inclusion - while control failures stay quarantined.
+            verdicts = result.verdicts
+            extra = set(sample.observed_failures) | set(result.detected)
+            verdicts.discovery_only |= {
+                c for c in extra
+                if c not in verdicts.votes
+                and c not in verdicts.control_failures}
+            result.detected = verdicts.detected()
+        else:
+            result.detected |= sample.observed_failures
     result.stats = TestStats.merge(c.stats for c in controllers)
     if obs.enabled():
         obs.inc("tests.discovery", result.n_discovery_tests)
@@ -213,4 +270,6 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
         obs.inc("tests.sweep", result.n_sweep_rounds)
         obs.inc("tests.total", result.total_tests)
         obs.inc("detected.failures", len(result.detected))
+        if robust and result.quarantine is not None:
+            obs.inc("profile.quarantined", len(result.quarantine))
     return result

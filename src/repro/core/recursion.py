@@ -119,8 +119,8 @@ def _group_victims(sample: VictimSample, active: np.ndarray
 def _run_region_test(controllers: Sequence[MemoryController],
                      groups: Dict[Tuple[int, int], _RowGroup],
                      sub_abs: np.ndarray, covered: np.ndarray,
-                     sample: VictimSample, region_size: int
-                     ) -> np.ndarray:
+                     sample: VictimSample, region_size: int,
+                     revote: bool = False) -> np.ndarray:
     """Execute one logical test; return per-victim failure mask.
 
     Args:
@@ -132,6 +132,10 @@ def _run_region_test(controllers: Sequence[MemoryController],
             falls outside the row for that victim.
         sample: the victim sample (for columns).
         region_size: bits per subregion at this level.
+        revote: the test runs on a fresh reseeded re-vote stream, so
+            the coupled-cell evaluation may be restricted to the
+            tested rows (a large saving when re-voting a handful of
+            victims).
     """
     row_bits = controllers[0].row_bits
     failed = np.zeros(len(sample), dtype=bool)
@@ -154,10 +158,12 @@ def _run_region_test(controllers: Sequence[MemoryController],
             # Victim bits carry the opposite value of their region.
             data[group.row_pos, group.cols] = 1
 
-            observed = ctrl.test_rows(bank_idx, group.unique_rows, data)
+            observed = ctrl.test_rows(bank_idx, group.unique_rows, data,
+                                      coupled_rows_only=revote)
             flip_pos = observed[group.row_pos, group.cols] != 1
             observed_inv = ctrl.test_rows(bank_idx, group.unique_rows,
-                                          1 - data)
+                                          1 - data,
+                                          coupled_rows_only=revote)
             flip_inv = observed_inv[group.row_pos, group.cols] != 0
             failed[vi] |= (flip_pos | flip_inv) & use[...]
             continue
@@ -172,19 +178,164 @@ def _run_region_test(controllers: Sequence[MemoryController],
             bank_idx, group.unique_rows, base=1,
             spans=(rows_of, starts, region_size, 0),
             points=(group.row_pos, group.cols, 1),
-            check_row_idx=group.row_pos, check_cols=group.cols)
+            check_row_idx=group.row_pos, check_cols=group.cols,
+            coupled_rows_only=revote)
         flip_inv = ctrl.test_rows_patched(
             bank_idx, group.unique_rows, base=0,
             spans=(rows_of, starts, region_size, 1),
             points=(group.row_pos, group.cols, 0),
-            check_row_idx=group.row_pos, check_cols=group.cols)
+            check_row_idx=group.row_pos, check_cols=group.cols,
+            coupled_rows_only=revote)
         failed[vi] |= (flip_pos | flip_inv) & use[...]
     return failed
 
 
+def _filter_groups(groups: Dict[Tuple[int, int], _RowGroup],
+                   keep: np.ndarray
+                   ) -> Dict[Tuple[int, int], _RowGroup]:
+    """Restrict row groups to the victims selected by ``keep``.
+
+    Row retention tests are independent and the coupling mechanism is
+    intra-row, so re-testing only the kept victims' rows reproduces
+    their test conditions exactly.
+    """
+    out: Dict[Tuple[int, int], _RowGroup] = {}
+    for key, group in groups.items():
+        sel = keep[group.victim_idx]
+        if not sel.any():
+            continue
+        out[key] = _RowGroup(
+            victim_idx=group.victim_idx[sel],
+            rows=group.unique_rows[group.row_pos[sel]],
+            cols=group.cols[sel])
+    return out
+
+
+def _revote_region(controllers: Sequence[MemoryController],
+                   groups: Dict[Tuple[int, int], _RowGroup],
+                   sub_abs: np.ndarray, covered: np.ndarray,
+                   sample: VictimSample, region_size: int,
+                   candidates: np.ndarray, policy, seed: int,
+                   path: Tuple[int, ...]) -> np.ndarray:
+    """Re-vote selected failure observations of one region test.
+
+    The initial pass consumed the bank's sequential RNG stream exactly
+    as the single-pass recursion would; the re-votes run on fresh
+    seed-ladder streams and the sequential stream (plus the fault
+    model's VRT state and any injected-noise coins) is restored
+    afterwards, so the surrounding recursion is byte-identical to a
+    ``rounds=1`` run except where the vote changes a verdict.
+
+    The vote is a *sequential* best-of-three majority, capped at three
+    executions regardless of ``policy.rounds``: the recursion only
+    needs soft-error rejection (a one-off flip will not repeat on a
+    fresh seeded stream), so a failure is kept once it is observed
+    twice, dropped once two fresh runs miss it, and the loop stops as
+    soon as every candidate is decided.  Only victims that failed the
+    initial pass can be candidates - exactly the sweep's
+    vote-attribution rule, so injected noise in a re-vote can never
+    forge a reporter that the initial pass did not see.  Each re-vote
+    re-tests only the undecided candidates' rows
+    (:func:`_filter_groups`) and evaluates only those rows' coupled
+    cells, so its cost scales with the observations under vote, not
+    the sample size.  Deeper ``rounds`` policies buy statistical depth
+    in the sweep, where per-cell verdicts live, not here.
+
+    Returns the per-victim mask of candidates whose failure was
+    *upheld* by the vote.
+    """
+    from ..robust.vote import reseed_banks
+
+    touched = {key for key, group in groups.items()
+               if candidates[group.victim_idx].any()}
+    saved = []
+    for chip_idx, bank_idx in touched:
+        bank = controllers[chip_idx].chip.banks[bank_idx]
+        noise_rng = (bank.noise._coin_rng
+                     if bank.noise is not None else None)
+        saved.append((bank, bank._rng, bank.faults.vrt_leaky.copy(),
+                      noise_rng))
+    counts = candidates.astype(np.int64)
+    reps = min(policy.rounds, 3)
+    need = reps // 2 + 1
+    for rep in range(1, reps):
+        remaining = reps - rep
+        undecided = (candidates & (counts < need)
+                     & (counts + remaining >= need))
+        if not undecided.any():
+            break
+        sub_groups = _filter_groups(groups, undecided)
+        reseed_banks(controllers, seed, "robust.recursion", *path, rep,
+                     only=sub_groups.keys())
+        again = _run_region_test(controllers, sub_groups, sub_abs,
+                                 covered, sample, region_size,
+                                 revote=True)
+        counts += (again & undecided)
+    for bank, rng, leaky, noise_rng in saved:
+        bank._rng = rng
+        bank.faults._rng = rng
+        bank.faults.vrt_leaky = leaky
+        if noise_rng is not None:
+            bank.noise._coin_rng = noise_rng
+    return counts >= need
+
+
+#: Reporters a child distance needs within a level before its
+#: observations are accepted without a re-vote.  Soft errors strike
+#: independent random cells, so three victims reporting the *same*
+#: distance cannot plausibly be coincident one-off flips - the crowd
+#: corroborates them, exactly the statistic the ranking filter trusts.
+#: Distances below the floor are re-voted victim by victim.
+CORROBORATION_FLOOR = 3
+
+
+def _revote_uncorroborated(controllers: Sequence[MemoryController],
+                           groups: Dict[Tuple[int, int], _RowGroup],
+                           sample: VictimSample, region_size: int,
+                           pending, v_region: np.ndarray, policy,
+                           seed: int) -> None:
+    """Re-vote the uncorroborated failures of one recursion level.
+
+    ``pending`` holds every executed region test of the level as
+    ``(sub_abs, covered, failed, path)``; the ``failed`` masks are
+    updated in place.  A failure observation is *suspicious* - and
+    gets the :func:`_revote_region` treatment - only when the child
+    distance it reports has fewer than :data:`CORROBORATION_FLOOR`
+    reporters across the level.  Crowd-corroborated observations are
+    accepted as-is, which is what keeps the repeat-and-vote recursion
+    within a constant factor of the single-pass one: the overwhelming
+    majority of failures report the true distances, and those have
+    hundreds of reporters.
+    """
+    counts: Dict[int, int] = {}
+    dist_of: List[np.ndarray] = []
+    for sub_abs, covered, failed, _path in pending:
+        dd = sub_abs - v_region
+        dist_of.append(dd)
+        for v in np.flatnonzero(failed & covered).tolist():
+            dist = int(dd[v])
+            counts[dist] = counts.get(dist, 0) + 1
+    for (sub_abs, covered, failed, path), dd in zip(pending, dist_of):
+        observed = failed & covered
+        if not observed.any():
+            continue
+        suspicious = observed.copy()
+        for v in np.flatnonzero(observed).tolist():
+            if counts[int(dd[v])] >= CORROBORATION_FLOOR:
+                suspicious[v] = False
+        if not suspicious.any():
+            continue
+        upheld = _revote_region(controllers, groups, sub_abs, covered,
+                                sample, region_size, suspicious,
+                                policy, seed, path)
+        failed &= ~suspicious
+        failed |= upheld
+
+
 def recursive_neighbour_search(controllers: Sequence[MemoryController],
                                sample: VictimSample,
-                               config: ParborConfig
+                               config: ParborConfig,
+                               policy=None, seed: int = 0
                                ) -> RecursionResult:
     """Run the full multi-level recursion over a victim sample.
 
@@ -193,6 +344,13 @@ def recursive_neighbour_search(controllers: Sequence[MemoryController],
             ``chip`` indices must address this list.
         sample: initial victim sample from discovery.
         config: campaign configuration.
+        policy: optional :class:`repro.robust.RoundsPolicy`; with
+            ``rounds > 1`` every *uncorroborated* failure observation
+            is re-voted on fresh seed-ladder streams (sequential
+            best-of-three, early-exiting - see
+            :func:`_revote_uncorroborated` and
+            :func:`_revote_region`).
+        seed: root seed of the re-vote ladder (the campaign run seed).
 
     Returns:
         A :class:`RecursionResult`; ``result.distances`` is the union
@@ -223,6 +381,8 @@ def recursive_neighbour_search(controllers: Sequence[MemoryController],
             v_region = sample.col // size
             tests = 0
 
+            pending: List[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                Tuple[int, ...]]] = []
             for d in candidate_dists:
                 parent = v_prev_region + d
                 in_range = (parent >= 0) & (parent < row_bits // prev_size)
@@ -240,8 +400,15 @@ def recursive_neighbour_search(controllers: Sequence[MemoryController],
                     failed = _run_region_test(controllers, groups, sub_abs,
                                               covered, sample, size)
                     tested[covered] += 1
-                    for v in np.flatnonzero(failed & covered).tolist():
-                        found[v].add(int(sub_abs[v] - v_region[v]))
+                    pending.append((sub_abs, covered, failed, (li, d, j)))
+
+            if policy is not None and policy.rounds > 1:
+                _revote_uncorroborated(controllers, groups, sample,
+                                       size, pending, v_region, policy,
+                                       seed)
+            for sub_abs, covered, failed, _path in pending:
+                for v in np.flatnonzero(failed & covered).tolist():
+                    found[v].add(int(sub_abs[v] - v_region[v]))
 
             # Marginal filter (Section 5.2.4, first filter): a victim
             # failing in most tested regions is noise, not data dependence.

@@ -3,15 +3,17 @@
 from .dclat import DcLatPolicy
 from .content import (VulnerableRow, build_vulnerability_map,
                       row_matches_worst_case)
-from .evaluate import (Fig16Summary, WorkloadOutcome, evaluate_workload,
-                       run_fig16)
+from .evaluate import (Fig16Summary, UnderRefreshReport, WorkloadOutcome,
+                       evaluate_workload, guardbanded_bins, run_fig16,
+                       under_refresh_report)
 from .profiling import RetentionProfile, profile_retention
 from .raidr import bins_from_failures, retention_bins, weak_row_fraction
 
 __all__ = [
-    "Fig16Summary", "VulnerableRow", "WorkloadOutcome",
-    "bins_from_failures", "build_vulnerability_map", "evaluate_workload",
+    "Fig16Summary", "UnderRefreshReport", "VulnerableRow",
+    "WorkloadOutcome", "bins_from_failures", "build_vulnerability_map",
+    "evaluate_workload", "guardbanded_bins",
     "DcLatPolicy", "RetentionProfile", "profile_retention",
     "retention_bins", "row_matches_worst_case", "run_fig16",
-    "weak_row_fraction",
+    "under_refresh_report", "weak_row_fraction",
 ]

@@ -4,12 +4,19 @@ For every multi-programmed workload, the same request streams run
 under the three refresh policies; weighted speedup is computed against
 baseline alone-runs, and policy improvements are reported relative to
 the uniform-64 ms system, exactly as the paper plots them.
+
+The module also holds the **guardbanded binning contract** the robust
+profiling layer feeds: :func:`guardbanded_bins` derives the weak-row
+mask from a campaign's trusted detections OR'd with its quarantined
+cells' rows (an unstable cell must never let its row refresh at the
+relaxed rate), and :func:`under_refresh_report` audits any mask
+against a ground-truth set of truly failing rows.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -20,9 +27,71 @@ from ..sim.metrics import weighted_speedup
 from ..sim.params import DEFAULT_CONFIG_32G, SystemConfig
 from ..sim.refresh import make_policy
 from ..sim.workloads import make_workloads, workload_profiles
+from .raidr import bins_from_failures
 
-__all__ = ["WorkloadOutcome", "Fig16Summary", "evaluate_workload",
-           "run_fig16"]
+__all__ = ["WorkloadOutcome", "Fig16Summary", "UnderRefreshReport",
+           "evaluate_workload", "guardbanded_bins", "run_fig16",
+           "under_refresh_report"]
+
+Coord = Tuple[int, int, int, int]
+
+
+def guardbanded_bins(detected: Set[Coord], quarantine,
+                     n_chips: int, n_banks: int,
+                     n_rows: int) -> np.ndarray:
+    """Weak-row mask from trusted detections plus the quarantine.
+
+    The refresh-safety contract of robust profiling: a row goes to the
+    relaxed bin only if *neither* a trusted (definite/probabilistic)
+    detection *nor* a quarantined (unstable) cell lives in it.  Pass
+    ``quarantine=None`` for the legacy behaviour
+    (:func:`~repro.dcref.raidr.bins_from_failures` alone).
+    """
+    mask = bins_from_failures(detected, n_chips, n_banks, n_rows)
+    if quarantine:
+        mask |= quarantine.row_mask(n_chips, n_banks, n_rows)
+    return mask
+
+
+@dataclass
+class UnderRefreshReport:
+    """Audit of a weak-row mask against ground-truth failing rows.
+
+    Attributes:
+        n_weak_rows: rows the mask keeps at the fast rate.
+        n_true_failing: ground-truth rows that genuinely need it.
+        under_refreshed: truly failing rows the mask left at the
+            relaxed rate - each one is a data-loss hazard.
+    """
+
+    n_weak_rows: int
+    n_true_failing: int
+    under_refreshed: Set[Tuple[int, int, int]] = field(
+        default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.under_refreshed
+
+
+def under_refresh_report(bins: np.ndarray,
+                         true_failing_rows: Iterable[Tuple[int, int, int]]
+                         ) -> UnderRefreshReport:
+    """Check that every truly failing row stays at the fast rate.
+
+    Args:
+        bins: ``(chips, banks, rows)`` bool mask (True = fast rate).
+        true_failing_rows: ground-truth ``(chip, bank, row)`` tuples
+            (e.g. rows of the noise-free profile's detections plus any
+            injected-noise cells).
+    """
+    truth = {(int(c), int(b), int(r)) for c, b, r in true_failing_rows}
+    missed = {(c, b, r) for c, b, r in truth
+              if not (0 <= c < bins.shape[0] and 0 <= b < bins.shape[1]
+                      and 0 <= r < bins.shape[2]) or not bins[c, b, r]}
+    return UnderRefreshReport(n_weak_rows=int(bins.sum()),
+                              n_true_failing=len(truth),
+                              under_refreshed=missed)
 
 POLICIES = ("baseline", "raidr", "dcref")
 

@@ -12,15 +12,28 @@ Rows that fail at the relaxed interval must keep the fast 64 ms rate
 (under RAIDR unconditionally; under DC-REF only while their content
 matches the worst-case pattern); everything else can refresh at the
 relaxed rate.
+
+Two robustness hooks harden the profile against an unstable substrate:
+
+* a **quarantine guardband** - rows holding cells a repeat-and-vote
+  campaign classified unstable (:class:`repro.robust.QuarantineSet`)
+  are forced into the weak bin, so a cell that failed *inconsistently*
+  can never end up at the relaxed refresh rate;
+* a **drift gate** - each profiling round's failing-row set is
+  signed (:func:`repro.robust.profile_signature`) and the maximum
+  pairwise drift is checked against a threshold, failing closed
+  (:class:`repro.robust.ProfileDriftError`) or degrading to a flagged
+  profile when ``strict=False``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.patterns import solid
 from ..dram.controller import MemoryController
 
@@ -35,11 +48,18 @@ class RetentionProfile:
         interval_s: the relaxed interval rows were screened at.
         weak_rows: (chip, bank) -> bool row mask; True rows failed.
         tests: whole-chip tests spent.
+        integrity: per-round signature comparison
+            (:class:`repro.robust.ProfileIntegrity`); None unless the
+            campaign ran with a ``drift_threshold``.
+        guardbanded_rows: rows forced into the weak bin purely by the
+            quarantine guardband (they passed the screen itself).
     """
 
     interval_s: float
     weak_rows: Dict[Tuple[int, int], np.ndarray]
     tests: int
+    integrity: Optional[object] = None
+    guardbanded_rows: int = 0
 
     def weak_row_fraction(self) -> float:
         total = sum(mask.size for mask in self.weak_rows.values())
@@ -58,7 +78,10 @@ class RetentionProfile:
 def profile_retention(controllers: Sequence[MemoryController],
                       interval_s: float = 0.256,
                       temperature_c: float = 45.0,
-                      rounds: int = 2) -> RetentionProfile:
+                      rounds: int = 2,
+                      quarantine=None,
+                      drift_threshold: Optional[float] = None,
+                      strict: bool = True) -> RetentionProfile:
     """Screen every row at a relaxed refresh interval.
 
     Args:
@@ -68,6 +91,15 @@ def profile_retention(controllers: Sequence[MemoryController],
         temperature_c: operating temperature during the screen.
         rounds: repetitions of the solid-pattern pair (randomly-timed
             failures like VRT need more than one exposure to surface).
+        quarantine: optional :class:`repro.robust.QuarantineSet`;
+            every quarantined cell's row is guardbanded into the weak
+            bin regardless of what the screen observed.
+        drift_threshold: when set (and ``rounds > 1``), compare the
+            per-round failing-row signatures and gate on their maximum
+            pairwise drift (see :func:`repro.robust.check_drift`).
+        strict: with a tripped drift gate, raise
+            :class:`repro.robust.ProfileDriftError` (True) or return
+            the profile with ``integrity.ok == False`` (False).
 
     Returns:
         A :class:`RetentionProfile`. Chip conditions are restored to
@@ -76,6 +108,8 @@ def profile_retention(controllers: Sequence[MemoryController],
     if not controllers:
         raise ValueError("need at least one controller")
     weak: Dict[Tuple[int, int], np.ndarray] = {}
+    round_rows: List[Set[Tuple[int, int, int]]] = [
+        set() for _ in range(rounds)]
     tests = 0
     for chip_idx, ctrl in enumerate(controllers):
         chip = ctrl.chip
@@ -84,14 +118,39 @@ def profile_retention(controllers: Sequence[MemoryController],
         for bank_idx in range(chip.n_banks):
             weak[(chip_idx, bank_idx)] = np.zeros(chip.n_rows, dtype=bool)
         try:
-            for _ in range(rounds):
+            for round_idx in range(rounds):
                 for value in (0, 1):
                     per_bank = ctrl.test_pattern(solid(ctrl.row_bits,
                                                        value))
                     tests += 1
                     for bank_idx, (rows, _cols) in enumerate(per_bank):
                         weak[(chip_idx, bank_idx)][rows] = True
+                        round_rows[round_idx].update(
+                            (chip_idx, bank_idx, int(r))
+                            for r in rows.tolist())
         finally:
             chip.set_conditions()
+
+    integrity = None
+    if drift_threshold is not None and rounds > 1:
+        from ..robust.integrity import check_drift
+
+        integrity = check_drift(round_rows, drift_threshold,
+                                strict=strict,
+                                context="retention-profile")
+
+    guardbanded = 0
+    if quarantine:
+        for chip_idx, bank_idx, row in quarantine.rows():
+            mask = weak.get((chip_idx, bank_idx))
+            if mask is not None and 0 <= row < len(mask) \
+                    and not mask[row]:
+                mask[row] = True
+                guardbanded += 1
+    if obs.enabled():
+        obs.inc("profile.rounds", tests)
+        if guardbanded:
+            obs.inc("profile.guardbanded_rows", guardbanded)
     return RetentionProfile(interval_s=interval_s, weak_rows=weak,
-                            tests=tests)
+                            tests=tests, integrity=integrity,
+                            guardbanded_rows=guardbanded)

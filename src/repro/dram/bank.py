@@ -60,6 +60,10 @@ class Bank:
         self.anti_rows = np.asarray(anti_rows, dtype=bool)
         #: retention stress of retention reads (1.0 = 45 degC / 4 s).
         self.stress = 1.0
+        #: optional injected device-noise model (substrate chaos).
+        #: Noise is unioned into every retention read's failures -
+        #: it can only add observed corruption, never cancel a flip.
+        self.noise = None
         #: charge state, physical order: shape (n_rows, row_bits).
         self.charge = np.zeros((n_rows, self.row_bits), dtype=np.uint8)
 
@@ -168,47 +172,99 @@ class Bank:
 
     # -- retention reads ------------------------------------------------
 
+    def _retention_flips(self, visible_rows: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, np.ndarray,
+                                    np.ndarray, np.ndarray]:
+        """One retention wait: flip events plus forced noise coords.
+
+        Returns ``(rows, sys_cols, noise_rows, noise_sys)``.  The first
+        pair are flip *events* (XOR semantics - an even number of
+        events on a cell cancels); the second pair are injected-noise
+        coordinates with forced-corruption (union) semantics.
+
+        With ``visible_rows`` the coupled-cell evaluation is restricted
+        to victims living in those rows.  Their outcome distribution is
+        identical to a full-bank evaluation (victims are independent),
+        but the RNG draw *count* differs, so this is only safe on a
+        freshly reseeded stream that is discarded or restored
+        afterwards (the re-vote path) - never on the sequential
+        single-pass stream.  The random-fault model still runs
+        bank-wide (it is stateful).
+        """
+        coupled = self.coupled
+        if visible_rows is not None:
+            coupled = coupled.subset(np.isin(coupled.row, visible_rows))
+        fail = coupled.evaluate_failures(self.charge, self._rng,
+                                         stress=self.stress)
+        rows = coupled.row[fail]
+        phys = coupled.phys[fail]
+        f_rows, f_phys = self.faults.retention_flips(self.charge,
+                                             stress=self.stress)
+        rows = np.concatenate([rows, f_rows])
+        phys = np.concatenate([phys, f_phys])
+        sys_cols = self.mapping.phys_to_sys()[phys]
+        empty = np.empty(0, dtype=np.int64)
+        if self.noise is None:
+            return rows, sys_cols, empty, empty
+        n_rows, n_phys = self.noise.flips()
+        n_sys = (self.mapping.phys_to_sys()[n_phys] if len(n_phys)
+                 else empty)
+        return rows, sys_cols, n_rows, n_sys
+
     def retention_failures(self) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate one retention wait; return failing coordinates.
 
         Returns:
             ``(rows, sys_cols)`` of all cells whose read-back after the
             retention interval mismatches what was written - the union
-            of data-dependent flips and random-fault flips, exactly the
-            observable a system-level test sees.
+            of data-dependent flips, random-fault flips, and any
+            injected device noise, exactly the observable a
+            system-level test sees.
         """
-        fail = self.coupled.evaluate_failures(self.charge, self._rng,
-                                      stress=self.stress)
-        rows = self.coupled.row[fail]
-        phys = self.coupled.phys[fail]
-        f_rows, f_phys = self.faults.retention_flips(self.charge,
-                                             stress=self.stress)
-        rows = np.concatenate([rows, f_rows])
-        phys = np.concatenate([phys, f_phys])
-        sys_cols = self.mapping.phys_to_sys()[phys]
+        rows, sys_cols, n_rows, n_sys = self._retention_flips()
+        if len(n_rows):
+            rows = np.concatenate([rows, n_rows])
+            sys_cols = np.concatenate([sys_cols, n_sys])
         return rows, sys_cols
 
-    def retention_read_rows(self, rows: np.ndarray) -> np.ndarray:
+    def retention_read_rows(self, rows: np.ndarray,
+                            coupled_rows_only: bool = False
+                            ) -> np.ndarray:
         """Retention read restricted to ``rows``; system-order data.
 
         Used by the recursive test, which only ever inspects the rows
         that host its victim cells. Random-fault injection still runs
         bank-wide (the fault model is stateful) but only flips landing
         in ``rows`` are visible, as in a real partial read.
+        ``coupled_rows_only`` restricts the coupled-cell evaluation to
+        ``rows`` as well (see :meth:`_retention_flips` for when that
+        is safe).
         """
         rows = np.asarray(rows)
-        f_rows, f_cols = self.retention_failures()
+        f_rows, f_cols, n_rows_, n_cols = self._retention_flips(
+            visible_rows=rows if coupled_rows_only else None)
         data_phys = self.charge[rows] ^ self.anti_rows[rows, None].astype(
             np.uint8)
         data_sys = data_phys[:, self.mapping.sys_to_phys()]
+        noise_idx = noise_cols = noise_written = None
+        if len(n_rows_):
+            # Forced corruption: capture the written values now so the
+            # injected cells read back wrong regardless of how many
+            # flip events also landed on them (union, not XOR).
+            pos = np.full(self.n_rows, -1, dtype=np.int64)
+            pos[rows] = np.arange(len(rows), dtype=np.int64)
+            ni = pos[n_rows_]
+            vis = ni >= 0
+            noise_idx = ni[vis]
+            noise_cols = n_cols[vis]
+            noise_written = data_sys[noise_idx, noise_cols].copy()
         if reference_kernels_enabled():
             row_pos = {int(r): i for i, r in enumerate(rows)}
             for r, c in zip(f_rows, f_cols):
                 i = row_pos.get(int(r))
                 if i is not None:
                     data_sys[i, c] ^= 1
-            return data_sys
-        if len(f_rows):
+        elif len(f_rows):
             # Vectorised scatter with the same semantics as the loop:
             # for duplicate rows the last occurrence wins, and repeated
             # flips at one coordinate toggle repeatedly (xor.at).
@@ -218,11 +274,15 @@ class Bank:
             visible = i >= 0
             np.bitwise_xor.at(data_sys, (i[visible], f_cols[visible]),
                               np.uint8(1))
+        if noise_idx is not None and len(noise_idx):
+            data_sys[noise_idx, noise_cols] = noise_written ^ np.uint8(1)
         return data_sys
 
     def retention_check_cells(self, rows: np.ndarray,
                               check_row_idx: np.ndarray,
-                              check_cols: np.ndarray) -> np.ndarray:
+                              check_cols: np.ndarray,
+                              coupled_rows_only: bool = False
+                              ) -> np.ndarray:
         """One retention wait; did specific cells read back corrupted?
 
         The batched verification primitive: instead of materialising
@@ -234,21 +294,31 @@ class Bank:
             rows: bank rows that were written (and are now read).
             check_row_idx: per checked cell, index into ``rows``.
             check_cols: per checked cell, system column.
+            coupled_rows_only: restrict the coupled-cell evaluation to
+                ``rows`` (see :meth:`_retention_flips` for when that
+                is safe).
 
         Returns:
             Boolean array over the checked cells: True where the
             read-back value differs from what was written (an odd
             number of flip events landed on the cell).
         """
-        f_rows, f_cols = self.retention_failures()
+        f_rows, f_cols, n_rows_, n_cols = self._retention_flips(
+            visible_rows=rows if coupled_rows_only else None)
         check_enc = (rows[check_row_idx].astype(np.int64) * self.row_bits
                      + check_cols)
-        if not len(f_rows):
-            return np.zeros(len(check_enc), dtype=bool)
-        enc = f_rows.astype(np.int64) * self.row_bits + f_cols
-        uniq, counts = np.unique(enc, return_counts=True)
-        odd = uniq[counts % 2 == 1]
-        return np.isin(check_enc, odd)
+        corrupted = np.zeros(len(check_enc), dtype=bool)
+        if len(f_rows):
+            enc = f_rows.astype(np.int64) * self.row_bits + f_cols
+            uniq, counts = np.unique(enc, return_counts=True)
+            odd = uniq[counts % 2 == 1]
+            corrupted = np.isin(check_enc, odd)
+        if len(n_rows_):
+            # Injected noise forces corruption - OR it in after the
+            # odd-count logic so it can never cancel a flip event.
+            noise_enc = n_rows_.astype(np.int64) * self.row_bits + n_cols
+            corrupted |= np.isin(check_enc, noise_enc)
+        return corrupted
 
     def retention_read_all(self) -> np.ndarray:
         """Full-bank retention read, system order (observed data)."""

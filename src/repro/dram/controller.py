@@ -162,19 +162,24 @@ class MemoryController:
         return observed
 
     def test_rows(self, bank: int, rows: np.ndarray,
-                  data_sys: np.ndarray) -> np.ndarray:
+                  data_sys: np.ndarray,
+                  coupled_rows_only: bool = False) -> np.ndarray:
         """One test over specific rows of one bank.
 
         Writes ``data_sys`` (2-D per-row, or 1-D broadcast) to ``rows``,
         waits one retention interval, and returns the observed data.
         Counts as one test regardless of how many rows run in parallel.
+        ``coupled_rows_only`` restricts the coupled-cell evaluation to
+        the tested rows (re-vote streams only; see
+        :meth:`~repro.dram.bank.Bank._retention_flips`).
         """
         rows = np.asarray(rows)
         b = self.chip.bank(bank)
         return self._run_test(
             "rows", bank, len(rows),
             lambda: b.write_rows(rows, data_sys),
-            lambda: b.retention_read_rows(rows))
+            lambda: b.retention_read_rows(
+                rows, coupled_rows_only=coupled_rows_only))
 
     def test_rows_patched(self, bank: int, rows: np.ndarray, base: int,
                           spans: Optional[Tuple[np.ndarray, np.ndarray,
@@ -182,7 +187,8 @@ class MemoryController:
                           points: Optional[Tuple[np.ndarray, np.ndarray,
                                                  int]],
                           check_row_idx: np.ndarray,
-                          check_cols: np.ndarray) -> np.ndarray:
+                          check_cols: np.ndarray,
+                          coupled_rows_only: bool = False) -> np.ndarray:
         """One batched test: sparse-patched write, then cell verification.
 
         Writes a constant background plus span/point patches (see
@@ -191,6 +197,9 @@ class MemoryController:
         cells - True where the read-back differs from what was
         written.  Test accounting is identical to :meth:`test_rows`
         (the rows are still conceptually written and read in full).
+        ``coupled_rows_only`` restricts the coupled-cell evaluation to
+        the tested rows (re-vote streams only; see
+        :meth:`~repro.dram.bank.Bank._retention_flips`).
         """
         rows = np.asarray(rows)
         b = self.chip.bank(bank)
@@ -198,8 +207,9 @@ class MemoryController:
             "patched", bank, len(rows),
             lambda: b.write_rows_patched(rows, base, spans=spans,
                                          points=points),
-            lambda: b.retention_check_cells(rows, check_row_idx,
-                                            check_cols))
+            lambda: b.retention_check_cells(
+                rows, check_row_idx, check_cols,
+                coupled_rows_only=coupled_rows_only))
 
     def _whole_chip_test(self, data_sys: np.ndarray, kind: str
                          ) -> List[Tuple[np.ndarray, np.ndarray]]:

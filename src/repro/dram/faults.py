@@ -20,7 +20,8 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["FaultSpec", "RandomFaultModel"]
+__all__ = ["FaultSpec", "RandomFaultModel", "NoiseSpec",
+           "DeviceNoiseModel"]
 
 
 @dataclass(frozen=True)
@@ -134,12 +135,17 @@ class RandomFaultModel:
             rows_list.append(self.weak_row[hit])
             cols_list.append(self.weak_phys[hit])
 
-        n_cells = self.n_rows * self.row_bits
-        n_soft = rng.poisson(self.spec.soft_error_rate * n_cells)
-        if n_soft:
-            flat = rng.integers(0, n_cells, size=n_soft)
-            rows_list.append(flat // self.row_bits)
-            cols_list.append(flat % self.row_bits)
+        # Draw nothing when the population is disabled: a zero-rate
+        # spec must consume zero RNG state per read so that chips with
+        # noise populations switched off share the coupled-cell coin
+        # stream of a noise-free chip bit for bit.
+        if self.spec.soft_error_rate > 0:
+            n_cells = self.n_rows * self.row_bits
+            n_soft = rng.poisson(self.spec.soft_error_rate * n_cells)
+            if n_soft:
+                flat = rng.integers(0, n_cells, size=n_soft)
+                rows_list.append(flat // self.row_bits)
+                cols_list.append(flat % self.row_bits)
 
         if len(self.vrt_row):
             toggle = rng.random(len(self.vrt_row)) < self.spec.vrt_toggle_prob
@@ -159,6 +165,133 @@ class RandomFaultModel:
 
         if not rows_list:
             empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return (np.concatenate(rows_list).astype(np.int64),
+                np.concatenate(cols_list).astype(np.int64))
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Injected device-noise populations for substrate chaos runs.
+
+    Unlike :class:`FaultSpec` (the substrate's intrinsic noise, which
+    rides the bank RNG), these populations model *injected* disturbance
+    for robustness experiments: they draw from their own seeded RNG so
+    switching them on never perturbs the data-dependent failure
+    evaluation, and they corrupt the read-back unconditionally
+    (content-independent forced corruption) so noise can only **add**
+    observed failures, never mask one.
+
+    Attributes:
+        n_vrt_cells: injected VRT cells; each corrupts a retention read
+            with ``vrt_fail_prob`` once active.
+        vrt_fail_prob: per-read corruption probability of an injected
+            VRT cell.
+        n_marginal_cells: injected marginal cells.
+        marginal_fail_prob: per-read corruption probability of an
+            injected marginal cell.
+        soft_error_rate: per-cell probability of a transient injected
+            flip per retention read (Poisson over the bank).
+        active_after: number of retention reads of the bank before the
+            injected populations switch on - lets a schedule strike
+            mid-campaign rather than from the first read.
+    """
+
+    n_vrt_cells: int = 0
+    vrt_fail_prob: float = 1.0
+    n_marginal_cells: int = 0
+    marginal_fail_prob: float = 0.8
+    soft_error_rate: float = 0.0
+    active_after: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("vrt_fail_prob", "marginal_fail_prob"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be a probability")
+        if self.soft_error_rate < 0:
+            raise ValueError("soft_error_rate must be non-negative")
+        if self.active_after < 0:
+            raise ValueError("active_after must be non-negative")
+
+    @property
+    def empty(self) -> bool:
+        return (self.n_vrt_cells == 0 and self.n_marginal_cells == 0
+                and self.soft_error_rate == 0)
+
+
+class DeviceNoiseModel:
+    """Seeded injector of mid-campaign device noise (substrate chaos).
+
+    Two RNG streams keep the injection orthogonal to the device model:
+    *positions* are drawn once from the base seed (so the injected cell
+    set is the schedule's ground truth, exposed via :meth:`cells`), and
+    *coins* come from a separate stream that the robust sweep reseeds
+    per (pass, round) via :meth:`reseed_coins`, making every read's
+    corruption a pure function of ``(seed, round)`` rather than of
+    scheduling order.
+    """
+
+    def __init__(self, spec: NoiseSpec, n_rows: int, row_bits: int,
+                 seed: int) -> None:
+        self.spec = spec
+        self.n_rows = n_rows
+        self.row_bits = row_bits
+        self.seed = seed
+        pos_rng = np.random.default_rng([seed, 0x705])
+        self.vrt_row = pos_rng.integers(0, n_rows,
+                                        size=spec.n_vrt_cells)
+        self.vrt_phys = pos_rng.integers(0, row_bits,
+                                         size=spec.n_vrt_cells)
+        self.marginal_row = pos_rng.integers(0, n_rows,
+                                             size=spec.n_marginal_cells)
+        self.marginal_phys = pos_rng.integers(0, row_bits,
+                                              size=spec.n_marginal_cells)
+        self._coin_rng = np.random.default_rng([seed, 0xC01])
+        #: retention reads of the bank seen so far (activation clock).
+        self.reads = 0
+
+    def reseed_coins(self, seed: int) -> None:
+        """Restart the coin stream (positions and clock are kept)."""
+        self._coin_rng = np.random.default_rng([int(seed), 0xC01])
+
+    def cells(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Ground truth: ``(rows, phys_cols)`` of all injected cells."""
+        rows = np.concatenate([self.vrt_row, self.marginal_row])
+        phys = np.concatenate([self.vrt_phys, self.marginal_phys])
+        return rows.astype(np.int64), phys.astype(np.int64)
+
+    def flips(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Injected corruptions for one retention read of the bank.
+
+        Returns ``(rows, phys_cols)`` of cells whose read-back is
+        force-corrupted (union semantics - the caller must OR these
+        into the observed failures, never XOR them with other flips).
+        """
+        self.reads += 1
+        empty = np.empty(0, dtype=np.int64)
+        if self.spec.empty or self.reads <= self.spec.active_after:
+            return empty, empty
+        rng = self._coin_rng
+        rows_list = []
+        cols_list = []
+        if len(self.vrt_row):
+            hit = rng.random(len(self.vrt_row)) < self.spec.vrt_fail_prob
+            rows_list.append(self.vrt_row[hit])
+            cols_list.append(self.vrt_phys[hit])
+        if len(self.marginal_row):
+            hit = (rng.random(len(self.marginal_row))
+                   < self.spec.marginal_fail_prob)
+            rows_list.append(self.marginal_row[hit])
+            cols_list.append(self.marginal_phys[hit])
+        if self.spec.soft_error_rate > 0:
+            n_cells = self.n_rows * self.row_bits
+            n_soft = rng.poisson(self.spec.soft_error_rate * n_cells)
+            if n_soft:
+                flat = rng.integers(0, n_cells, size=n_soft)
+                rows_list.append(flat // self.row_bits)
+                cols_list.append(flat % self.row_bits)
+        if not rows_list:
             return empty, empty
         return (np.concatenate(rows_list).astype(np.int64),
                 np.concatenate(cols_list).astype(np.int64))

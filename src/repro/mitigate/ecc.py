@@ -66,20 +66,29 @@ class EccReport:
 
 
 def ecc_coverage(detected: Iterable[Coord],
-                 code: SecDedCode = SecDedCode()) -> EccReport:
+                 code: SecDedCode = SecDedCode(),
+                 quarantine=None) -> EccReport:
     """Analyse a detected-failure map under a word-level ECC.
 
     Args:
         detected: (chip, bank, row, sys_col) failure coordinates, as
             produced by a PARBOR campaign.
         code: ECC geometry.
+        quarantine: optional :class:`repro.robust.QuarantineSet`;
+            unstable cells are counted as vulnerable too - an
+            intermittent cell still consumes the word's single
+            correctable error, so leaving it out would overstate
+            coverage.
 
     Returns:
         An :class:`EccReport`.
     """
+    cells = set(detected)
+    if quarantine:
+        cells |= set(quarantine.reasons)
     words: Dict[Tuple[int, int, int, int], int] = {}
     total = 0
-    for chip, bank, row, col in detected:
+    for chip, bank, row, col in cells:
         total += 1
         key = (chip, bank, row, col // code.data_bits)
         words[key] = words.get(key, 0) + 1

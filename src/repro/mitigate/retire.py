@@ -31,6 +31,7 @@ class RetirementReport:
     retired_rows: int
     total_rows: int
     spare_rows: int = 0
+    quarantined_rows: int = 0
 
     @property
     def capacity_overhead(self) -> float:
@@ -47,20 +48,32 @@ class RetirementReport:
 
 def row_retirement(detected: Iterable[Coord], n_chips: int,
                    n_banks: int, n_rows: int,
-                   spare_rows: int = 0) -> RetirementReport:
+                   spare_rows: int = 0,
+                   quarantine=None) -> RetirementReport:
     """Compute the retirement cost of a failure map.
 
     Args:
         detected: failure coordinates from a PARBOR campaign.
         n_chips / n_banks / n_rows: memory geometry.
         spare_rows: spare rows available for transparent remapping.
+        quarantine: optional :class:`repro.robust.QuarantineSet`;
+            rows holding unstable cells are retired too (same
+            guardband contract as the refresh bins - an unstable cell
+            must never stay in service).
 
     Returns:
-        A :class:`RetirementReport`.
+        A :class:`RetirementReport`.  ``quarantined_rows`` counts the
+        rows retired *only* because of the quarantine.
     """
     rows: Set[Tuple[int, int, int]] = set()
     for chip, bank, row, _col in detected:
         rows.add((chip, bank, row))
+    extra = 0
+    if quarantine:
+        q_rows = quarantine.rows()
+        extra = len(q_rows - rows)
+        rows |= q_rows
     return RetirementReport(retired_rows=len(rows),
                             total_rows=n_chips * n_banks * n_rows,
-                            spare_rows=spare_rows)
+                            spare_rows=spare_rows,
+                            quarantined_rows=extra)

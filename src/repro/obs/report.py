@@ -145,6 +145,32 @@ def _fleet_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
     return "fleet\n" + format_table(["Quantity", "Value"], rows)
 
 
+def _robustness_section(records: Sequence[Dict[str, Any]],
+                        metrics: MetricsRegistry) -> Optional[str]:
+    """Profile-robustness rollup: ``profile.*`` counters plus any
+    drift-gate trips recorded as ``profile.drift`` events."""
+    rows: List[List[object]] = []
+    for name, value in sorted(metrics.counters.items()):
+        if name.startswith("profile."):
+            rows.append([name, f"{value:g}"])
+    drift = metrics.histograms.get("profile.drift")
+    if drift and drift.get("count"):
+        rows.append(["profile.drift (max observed)",
+                     f"{drift['max']:.4f}"])
+    trips = [r for r in records if r.get("kind") == "event"
+             and r["name"] == "profile.drift"]
+    for trip in trips:
+        attrs = _attrs(trip)
+        rows.append([f"drift gate trip ({attrs.get('context', '?')})",
+                     f"drift={attrs.get('drift', '?')} "
+                     f"threshold={attrs.get('threshold', '?')} "
+                     f"strict={attrs.get('strict', '?')}"])
+    if not rows:
+        return None
+    return "profile robustness\n" + format_table(["Quantity", "Value"],
+                                                 rows)
+
+
 def _merged_metrics(records: Sequence[Dict[str, Any]]
                     ) -> MetricsRegistry:
     return MetricsRegistry.merge(
@@ -209,6 +235,7 @@ def render_report(records: Sequence[Dict[str, Any]],
     metrics = _merged_metrics(records)
     sections = _campaign_sections(records, index)
     for section in (_vendor_rollup(records), _fleet_section(records),
+                    _robustness_section(records, metrics),
                     _metrics_section(metrics)):
         if section:
             sections.append(section)

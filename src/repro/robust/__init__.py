@@ -1,0 +1,38 @@
+"""Noise-robust verdicts: repeat-and-vote testing, quarantine, gates.
+
+PARBOR's detection loop assumes every read-back mismatch is a stable,
+reproducible data-dependent failure.  On the simulated substrate that
+assumption is deliberately false - soft errors, VRT cells, and
+marginal cells (:mod:`repro.dram.faults`) fail intermittently, and a
+single unlucky flip would otherwise land straight in the failure
+profile that DC-REF and the mitigation layers treat as ground truth.
+
+This package closes that gap end to end:
+
+* :mod:`~repro.robust.verdicts` - the :class:`RoundsPolicy` (how many
+  times to repeat each pass, when to stop early, how to vote) and the
+  three-way ``definite`` / ``probabilistic`` / ``unstable`` verdict;
+* :mod:`~repro.robust.vote` - :func:`robust_sweep`, the seed-ladder
+  reseeded repeat-and-vote sweep with control rounds and the adaptive
+  early-exit;
+* :mod:`~repro.robust.quarantine` - the serializable
+  :class:`QuarantineSet` of unstable cells consumed by
+  ``dcref.profiling`` / ``dcref.evaluate`` (guardbanding) and
+  ``mitigate.retire`` / ``mitigate.ecc``;
+* :mod:`~repro.robust.integrity` - per-round profile signatures and
+  the fail-closed drift gate.
+"""
+
+from .integrity import (ProfileDriftError, ProfileIntegrity,
+                        check_drift, profile_signature)
+from .quarantine import QuarantineSet
+from .verdicts import (DEFINITE, PROBABILISTIC, UNSTABLE, CellVerdicts,
+                       RoundsPolicy)
+from .vote import RobustSweepResult, reseed_banks, robust_sweep
+
+__all__ = [
+    "DEFINITE", "PROBABILISTIC", "UNSTABLE", "CellVerdicts",
+    "ProfileDriftError", "ProfileIntegrity", "QuarantineSet",
+    "RobustSweepResult", "RoundsPolicy", "check_drift",
+    "profile_signature", "reseed_banks", "robust_sweep",
+]

@@ -1,0 +1,118 @@
+"""Profile-integrity gate: per-round signatures and drift detection.
+
+A retention profile is only usable downstream if re-measuring it gives
+(nearly) the same answer.  The gate hashes each measurement round's
+failing-cell set into a signature, computes the *drift* between rounds
+(symmetric difference over union - 0.0 for identical rounds, 1.0 for
+disjoint ones), and fails closed when the drift exceeds a threshold:
+a drifting profile means the device is too noisy (or the test too
+weak) for its bins to be trusted.
+
+``strict=False`` reuses the campaign runtime's graceful-degradation
+contract: instead of raising, the tripped gate is recorded on the
+returned record (``ok=False``) and emitted as a ``profile.drift``
+observability event, leaving the caller to decide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import obs
+
+__all__ = ["ProfileDriftError", "ProfileIntegrity", "profile_signature",
+           "check_drift"]
+
+
+class ProfileDriftError(RuntimeError):
+    """Per-round profiles disagree beyond the tolerated drift."""
+
+    def __init__(self, drift: float, threshold: float) -> None:
+        super().__init__(
+            f"profile drift {drift:.4f} exceeds threshold "
+            f"{threshold:.4f}; the profile cannot be trusted")
+        self.drift = drift
+        self.threshold = threshold
+
+
+def profile_signature(coords: Iterable[Tuple]) -> str:
+    """SHA-256 signature of one round's failing-coordinate set."""
+    h = hashlib.sha256()
+    for coord in sorted(coords):
+        h.update(repr(tuple(int(x) for x in coord)).encode())
+    return h.hexdigest()
+
+
+def _pair_drift(a: Set[Tuple], b: Set[Tuple]) -> float:
+    union = a | b
+    if not union:
+        return 0.0
+    return len(a ^ b) / len(union)
+
+
+@dataclass
+class ProfileIntegrity:
+    """Outcome of the per-round profile comparison.
+
+    Attributes:
+        signatures: one SHA-256 signature per measurement round.
+        drift: the worst pairwise drift observed between any two
+            rounds (0.0 = byte-identical rounds).
+        threshold: the gate's limit (None when the gate was disabled).
+        ok: False iff the gate tripped (drift > threshold).
+    """
+
+    signatures: List[str] = field(default_factory=list)
+    drift: float = 0.0
+    threshold: Optional[float] = None
+    ok: bool = True
+
+    @property
+    def rounds(self) -> int:
+        return len(self.signatures)
+
+    @property
+    def stable(self) -> bool:
+        """Whether every round produced the identical profile."""
+        return len(set(self.signatures)) <= 1
+
+
+def check_drift(round_sets: Sequence[Set[Tuple]],
+                threshold: Optional[float],
+                strict: bool = True,
+                context: str = "profile") -> ProfileIntegrity:
+    """Compare per-round failing-cell sets and gate on their drift.
+
+    Args:
+        round_sets: the failing coordinates each round observed.
+        threshold: maximum tolerated drift; None disables the gate
+            (signatures and drift are still computed and reported).
+        strict: raise :class:`ProfileDriftError` when the gate trips;
+            with False the record comes back with ``ok=False`` and a
+            ``profile.drift`` event is emitted instead.
+        context: label for the observability event.
+
+    Returns:
+        A :class:`ProfileIntegrity` record.
+    """
+    integrity = ProfileIntegrity(
+        signatures=[profile_signature(s) for s in round_sets],
+        threshold=threshold)
+    for i in range(len(round_sets)):
+        for j in range(i + 1, len(round_sets)):
+            integrity.drift = max(
+                integrity.drift,
+                _pair_drift(set(round_sets[i]), set(round_sets[j])))
+    if obs.enabled():
+        obs.observe("profile.drift", integrity.drift)
+    if threshold is not None and integrity.drift > threshold:
+        integrity.ok = False
+        obs.event("profile.drift", context=context,
+                  drift=integrity.drift, threshold=threshold,
+                  strict=strict)
+        obs.inc("profile.drift_gate_trips")
+        if strict:
+            raise ProfileDriftError(integrity.drift, threshold)
+    return integrity

@@ -1,0 +1,118 @@
+"""Serializable quarantine of unstable cells.
+
+Cells the robust verdict layer classifies ``unstable`` (VRT, marginal,
+soft-error suspects, control-round failures) cannot be trusted in
+either direction: they are not reproducible failures, but they are not
+known-good either.  The :class:`QuarantineSet` carries them - with the
+reason each one was quarantined - across the pipeline:
+
+* ``dcref.profiling`` / ``dcref.evaluate`` guardband quarantined rows
+  (they are never assigned a relaxed refresh bin);
+* ``mitigate.retire`` retires quarantined rows alongside detected
+  ones; ``mitigate.ecc`` counts quarantined cells as vulnerable;
+* the CLI serialises the set to JSON (``--quarantine-out``) so a later
+  invocation - or another tool - consumes the same contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set, Tuple
+
+import numpy as np
+
+__all__ = ["QuarantineSet"]
+
+Coord = Tuple[int, int, int, int]  # (chip, bank, row, sys_col)
+
+SCHEMA = 1
+
+
+@dataclass
+class QuarantineSet:
+    """Unstable cells with the reason each was quarantined."""
+
+    reasons: Dict[Coord, str] = field(default_factory=dict)
+
+    @property
+    def cells(self) -> Set[Coord]:
+        return set(self.reasons)
+
+    def add(self, coord: Coord, reason: str) -> None:
+        """Quarantine one cell (the first reason recorded wins)."""
+        self.reasons.setdefault(tuple(int(x) for x in coord), reason)
+
+    def update(self, coords: Iterable[Coord], reason: str) -> None:
+        for coord in coords:
+            self.add(coord, reason)
+
+    def merge(self, other: "QuarantineSet") -> "QuarantineSet":
+        merged = QuarantineSet(reasons=dict(self.reasons))
+        for coord, reason in other.reasons.items():
+            merged.add(coord, reason)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.reasons)
+
+    def __contains__(self, coord: Coord) -> bool:
+        return tuple(int(x) for x in coord) in self.reasons
+
+    def __bool__(self) -> bool:
+        return bool(self.reasons)
+
+    def rows(self) -> Set[Tuple[int, int, int]]:
+        """The (chip, bank, row) triples hosting a quarantined cell."""
+        return {(c, b, r) for (c, b, r, _col) in self.reasons}
+
+    def row_mask(self, n_chips: int, n_banks: int, n_rows: int
+                 ) -> np.ndarray:
+        """Boolean ``(n_chips, n_banks, n_rows)`` quarantined-row mask."""
+        mask = np.zeros((n_chips, n_banks, n_rows), dtype=bool)
+        for chip, bank, row in self.rows():
+            if chip < n_chips and bank < n_banks and row < n_rows:
+                mask[chip, bank, row] = True
+        return mask
+
+    def reason_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for reason in self.reasons.values():
+            counts[reason] = counts.get(reason, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def signature(self) -> Tuple:
+        """Comparable digest (sorted cells with reasons)."""
+        return tuple(sorted((coord, reason)
+                            for coord, reason in self.reasons.items()))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "cells": [[*coord, reason] for coord, reason
+                      in sorted(self.reasons.items())],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "QuarantineSet":
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported quarantine schema {payload.get('schema')!r}")
+        qset = cls()
+        for entry in payload.get("cells", []):
+            chip, bank, row, col, reason = entry
+            qset.add((int(chip), int(bank), int(row), int(col)),
+                     str(reason))
+        return qset
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "QuarantineSet":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))

@@ -1,0 +1,175 @@
+"""Verdict model of the noise-robust testing layer.
+
+A single retention test answers "did this cell fail this read?".  On a
+noisy device that boolean is not a profile: VRT and marginal cells fail
+intermittently, soft errors fail exactly once, and probabilistic
+coupled cells fail most - but not all - reads.  The robust layer
+re-runs each write/wait/read pass up to ``rounds`` times and replaces
+the boolean with one of three verdicts:
+
+* ``definite`` - failed every repetition it was scored in (and at
+  least :attr:`RoundsPolicy.early_definite` of them) and stayed clean
+  in every control round: a stable data-dependent failure.
+* ``probabilistic`` - failed at least ``ceil(threshold * scored)``
+  repetitions: real but intermittent (e.g. weakly coupled cells).
+* ``unstable`` - anything else that ever failed, plus every cell that
+  failed a *control* round (solid patterns that no data-dependent
+  mechanism can disturb): VRT, marginal, and soft-error suspects.
+  Unstable cells are quarantined, never trusted.
+
+All repetition randomness rides the SHA-256 seed ladder: each
+(pass, round) pair reseeds the substrate, so a verdict is a pure
+function of (spec, round) - independent of scheduling, worker count,
+and of which other rounds the adaptive early-exit chose to re-run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = ["DEFINITE", "PROBABILISTIC", "UNSTABLE", "RoundsPolicy",
+           "CellVerdicts"]
+
+Coord = Tuple[int, int, int, int]  # (chip, bank, row, sys_col)
+
+DEFINITE = "definite"
+PROBABILISTIC = "probabilistic"
+UNSTABLE = "unstable"
+
+
+@dataclass(frozen=True)
+class RoundsPolicy:
+    """How many times to repeat each pass and how to vote.
+
+    Attributes:
+        rounds: repetitions of every write/wait/read pass.  ``1``
+            reproduces today's single-pass behaviour byte for byte
+            (no reseeding, no controls, no verdicts beyond
+            ``probabilistic``-by-observation).
+        early_definite: a cell that failed *every* repetition so far is
+            declared definite after this many repetitions and its
+            rounds stop being re-run (the sequential-test early exit).
+        probabilistic_threshold: fraction of scored repetitions a cell
+            must fail to be ``probabilistic`` rather than ``unstable``.
+        controls: run solid-0/solid-1 control rounds each repetition to
+            catch content-independent cells.  ``None`` (default) means
+            "whenever ``rounds > 1``".
+        drift_threshold: maximum tolerated per-round profile drift
+            (symmetric difference over union) before the integrity
+            gate trips; ``None`` disables the gate.
+        strict: with True a tripped integrity gate raises
+            :class:`~repro.robust.integrity.ProfileDriftError`; with
+            False it degrades - the drift is recorded on the result
+            and emitted as an ``profile.drift`` event instead.
+    """
+
+    rounds: int = 1
+    early_definite: int = 2
+    probabilistic_threshold: float = 0.5
+    controls: Optional[bool] = None
+    drift_threshold: Optional[float] = None
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be at least 1")
+        if self.early_definite < 1:
+            raise ValueError("early_definite must be at least 1")
+        if not 0 < self.probabilistic_threshold <= 1:
+            raise ValueError(
+                "probabilistic_threshold must be in (0, 1]")
+        if (self.drift_threshold is not None
+                and not 0 <= self.drift_threshold <= 1):
+            raise ValueError("drift_threshold must be in [0, 1]")
+
+    @property
+    def run_controls(self) -> bool:
+        if self.controls is None:
+            return self.rounds > 1
+        return self.controls
+
+    @property
+    def is_legacy(self) -> bool:
+        """Whether this policy is the byte-identical single-pass path."""
+        return self.rounds == 1 and not self.run_controls
+
+    def required_votes(self, scored: int) -> int:
+        """Votes needed for a ``probabilistic`` verdict."""
+        return max(1, math.ceil(self.probabilistic_threshold * scored))
+
+    def definite_votes(self) -> int:
+        """Repetitions a cell must sweep to be declared ``definite``."""
+        return min(self.rounds, self.early_definite)
+
+
+@dataclass
+class CellVerdicts:
+    """Per-cell vote ledger and final classification.
+
+    Attributes:
+        rounds: the policy's repetition count.
+        votes: repetitions each observed cell failed in.
+        scored: repetitions each observed cell was scored in (scored
+            stops early for cells decided ``definite``).
+        control_failures: cells that failed any control round -
+            content-independent, always ``unstable``.
+        discovery_only: cells observed only by the discovery battery
+            (no sweep votes); control-clean ones count as
+            ``probabilistic`` (observed once), matching the legacy
+            pipeline's inclusion of discovery failures.
+        policy: the policy the votes were collected under.
+    """
+
+    rounds: int
+    votes: Dict[Coord, int] = field(default_factory=dict)
+    scored: Dict[Coord, int] = field(default_factory=dict)
+    control_failures: Set[Coord] = field(default_factory=set)
+    discovery_only: Set[Coord] = field(default_factory=set)
+    policy: RoundsPolicy = field(default_factory=RoundsPolicy)
+
+    def observed(self) -> Set[Coord]:
+        """Every cell that failed anything at least once."""
+        return (set(self.votes) | self.control_failures
+                | self.discovery_only)
+
+    def verdict(self, coord: Coord) -> Optional[str]:
+        """The verdict for one cell (None if it was never observed)."""
+        if coord in self.control_failures:
+            return UNSTABLE
+        if coord in self.votes:
+            votes = self.votes[coord]
+            scored = self.scored.get(coord, self.rounds)
+            if (votes == scored
+                    and scored >= self.policy.definite_votes()):
+                return DEFINITE
+            if votes >= self.policy.required_votes(scored):
+                return PROBABILISTIC
+            return UNSTABLE
+        if coord in self.discovery_only:
+            return PROBABILISTIC
+        return None
+
+    def _by_verdict(self, wanted: str) -> Set[Coord]:
+        return {c for c in self.observed() if self.verdict(c) == wanted}
+
+    def definite(self) -> Set[Coord]:
+        return self._by_verdict(DEFINITE)
+
+    def probabilistic(self) -> Set[Coord]:
+        return self._by_verdict(PROBABILISTIC)
+
+    def unstable(self) -> Set[Coord]:
+        return self._by_verdict(UNSTABLE)
+
+    def detected(self) -> Set[Coord]:
+        """Trusted detections: definite plus probabilistic cells."""
+        return {c for c in self.observed()
+                if self.verdict(c) in (DEFINITE, PROBABILISTIC)}
+
+    def counts(self) -> Dict[str, int]:
+        tally = {DEFINITE: 0, PROBABILISTIC: 0, UNSTABLE: 0}
+        for coord in self.observed():
+            tally[self.verdict(coord)] += 1
+        return tally

@@ -1,0 +1,229 @@
+"""Repeat-and-vote execution of the neighbour-aware sweep.
+
+The robust sweep re-runs every schedule round (pattern + inverse) up
+to ``policy.rounds`` times.  Before each executed round the substrate
+is *reseeded* from the SHA-256 seed ladder - the bank RNG, the
+intrinsic fault model's coin stream **and its VRT state**, and any
+injected device-noise coins - so a round's outcome is a pure function
+of ``(seed, repetition, round)``:
+
+* re-running round 3 cannot change round 5;
+* a noisy device and a noise-free one draw identical data-dependent
+  coins, so injected noise can only *add* observed failures;
+* the adaptive early-exit (skipping rounds whose cells are all
+  decided) cannot perturb the rounds that do run.
+
+Votes are *attributed*: a cell's vote in repetition ``p`` counts only
+on the rounds it failed in repetition 0 (or the round it was first
+seen in).  Failures that injected noise adds to other rounds therefore
+cannot inflate a cell's vote count past what the noise-free run
+produces - the keystone of the definite-set invariant.
+
+Each repetition also runs two *control rounds* (solid 0s / solid 1s):
+no data-dependent mechanism can disturb a solid pattern, so any cell
+failing a control is content-independent (weak, VRT, marginal, soft
+error, injected noise) and is classified ``unstable`` regardless of
+its votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.patterns import inverse, solid
+from ..runtime.seeds import ladder_seed
+from .quarantine import QuarantineSet
+from .verdicts import CellVerdicts, RoundsPolicy, UNSTABLE
+
+__all__ = ["RobustSweepResult", "robust_sweep", "reseed_banks"]
+
+Coord = Tuple[int, int, int, int]  # (chip, bank, row, sys_col)
+
+
+@dataclass
+class RobustSweepResult:
+    """What the repeat-and-vote sweep produced.
+
+    Attributes:
+        detected: trusted detections (definite + probabilistic).
+        verdicts: the full per-cell vote ledger.
+        quarantine: the unstable cells, with reasons.
+        rounds_executed: (repetition, round) pairs actually run -
+            the adaptive early-exit makes this less than
+            ``rounds * len(schedule)``.
+        control_rounds: control rounds run.
+    """
+
+    detected: Set[Coord] = field(default_factory=set)
+    verdicts: CellVerdicts = None
+    quarantine: QuarantineSet = field(default_factory=QuarantineSet)
+    rounds_executed: int = 0
+    control_rounds: int = 0
+
+
+def reseed_banks(controllers: Sequence, seed: int,
+                 *path, only=None) -> None:
+    """Reseed every bank's randomness from one seed-ladder path.
+
+    Replaces the bank RNG and the intrinsic fault model's coin stream
+    with a single fresh generator (preserving their shared-stream
+    structure), reinitialises the fault model's VRT state from that
+    stream, and reseeds any injected noise model's coins - making the
+    next retention read a pure function of ``(seed, *path)``.
+
+    Args:
+        controllers: one memory controller per chip.
+        seed: ladder root.
+        *path: ladder path components.
+        only: optional collection of ``(chip_idx, bank_idx)`` pairs to
+            restrict the reseed to.  Each bank's ladder seed depends
+            only on its own coordinates, so reseeding a subset is
+            byte-equivalent for those banks to reseeding them all -
+            use it when a re-run only reads a few banks.
+    """
+    for chip_idx, ctrl in enumerate(controllers):
+        for bank_idx, bank in enumerate(ctrl.chip.banks):
+            if only is not None and (chip_idx, bank_idx) not in only:
+                continue
+            g = np.random.default_rng(
+                ladder_seed(seed, *path, chip_idx, bank_idx))
+            bank._rng = g
+            faults = bank.faults
+            faults._rng = g
+            if len(faults.vrt_leaky):
+                faults.vrt_leaky = (
+                    g.random(len(faults.vrt_leaky))
+                    < faults.spec.vrt_leaky_start_fraction)
+            if bank.noise is not None:
+                bank.noise.reseed_coins(
+                    ladder_seed(seed, "noise", *path, chip_idx,
+                                bank_idx))
+
+
+def _run_round(controllers: Sequence, polarity: np.ndarray
+               ) -> Set[Coord]:
+    failures: Set[Coord] = set()
+    for chip_idx, ctrl in enumerate(controllers):
+        per_bank = ctrl.test_pattern(polarity)
+        for bank_idx, (rows, cols) in enumerate(per_bank):
+            failures.update(
+                (chip_idx, bank_idx, int(r), int(c))
+                for r, c in zip(rows.tolist(), cols.tolist()))
+    return failures
+
+
+def robust_sweep(controllers: Sequence, schedule,
+                 policy: RoundsPolicy, seed: int = 0
+                 ) -> RobustSweepResult:
+    """Run the neighbour-aware sweep with repeat-and-vote verdicts.
+
+    Args:
+        controllers: one memory controller per chip.
+        schedule: the :class:`~repro.core.scheduler.TestSchedule`.
+        policy: repetition/vote policy (``rounds >= 1``).
+        seed: the campaign's run seed (root of the reseeding ladder).
+
+    Returns:
+        A :class:`RobustSweepResult`.
+    """
+    rounds: List[Tuple[int, int]] = [
+        (pi, vi) for pi in range(len(schedule.patterns))
+        for vi in range(2)]
+    row_bits = controllers[0].row_bits
+
+    verdicts = CellVerdicts(rounds=policy.rounds, policy=policy)
+    result = RobustSweepResult(verdicts=verdicts)
+
+    # attribution: cell -> the schedule rounds its votes count on.
+    attribution: Dict[Coord, Set[int]] = {}
+    # Cells whose final verdict can no longer change (the sequential
+    # early-exit): definite after ``early_definite`` clean sweeps,
+    # unstable on any control failure, or vote-bounded - the
+    # probabilistic threshold is unreachable even winning every
+    # remaining repetition, or already met even losing them all.
+    decided: Set[Coord] = set()
+
+    for rep in range(policy.rounds):
+        if rep == 0:
+            executed = list(range(len(rounds)))
+        else:
+            undecided = [c for c in verdicts.votes if c not in decided]
+            executed = sorted({r for c in undecided
+                               for r in attribution.get(c, ())})
+            if not executed:
+                break  # every observed cell is decided
+        fail_sets: Dict[int, Set[Coord]] = {}
+        for r in executed:
+            pi, vi = rounds[r]
+            pattern = schedule.patterns[pi]
+            polarity = pattern if vi == 0 else inverse(pattern)
+            reseed_banks(controllers, seed, "robust.sweep", rep, r)
+            fail_sets[r] = _run_round(controllers, polarity)
+            result.rounds_executed += 1
+
+        if policy.run_controls:
+            for value in (0, 1):
+                reseed_banks(controllers, seed, "robust.control",
+                             rep, value)
+                verdicts.control_failures |= _run_round(
+                    controllers, solid(row_bits, value))
+                result.control_rounds += 1
+
+        # Score this repetition: a cell votes iff it failed in at
+        # least one of its attributed rounds.  Cells first seen this
+        # repetition get attributed to the rounds they failed in; they
+        # can never reach a definite verdict (they missed rep 0).
+        voted: Set[Coord] = set()
+        for r, failures in fail_sets.items():
+            for coord in failures:
+                if coord not in attribution:
+                    attribution[coord] = {r}
+                    verdicts.votes[coord] = 0
+                    verdicts.scored[coord] = rep
+                if r in attribution[coord]:
+                    voted.add(coord)
+                elif rep == 0:
+                    attribution[coord].add(r)
+                    voted.add(coord)
+        remaining = policy.rounds - 1 - rep
+        for coord in list(verdicts.votes):
+            if coord in decided:
+                continue
+            if coord in verdicts.control_failures:
+                decided.add(coord)  # unstable whatever it votes
+                continue
+            if not attribution.get(coord) & set(fail_sets):
+                continue  # none of its rounds ran this repetition
+            verdicts.scored[coord] += 1
+            if coord in voted:
+                verdicts.votes[coord] += 1
+            votes = verdicts.votes[coord]
+            scored = verdicts.scored[coord]
+            if votes == scored:
+                if scored >= policy.definite_votes():
+                    decided.add(coord)
+            elif (votes + remaining
+                    < policy.required_votes(scored + remaining)
+                    or votes
+                    >= policy.required_votes(scored + remaining)):
+                # An undecided cell is scored every remaining
+                # repetition, so (scored + remaining) is its exact
+                # final denominator; threshold monotonicity makes the
+                # two bounds sound for every intermediate stop too.
+                decided.add(coord)
+
+    # Final classification: control failures override everything.
+    result.detected = verdicts.detected()
+    for coord in verdicts.unstable():
+        reason = ("control-failure"
+                  if coord in verdicts.control_failures
+                  else "inconsistent-votes")
+        result.quarantine.add(coord, reason)
+    if obs.enabled():
+        obs.inc("profile.rounds", result.rounds_executed)
+        obs.inc("profile.control_rounds", result.control_rounds)
+    return result

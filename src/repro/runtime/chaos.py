@@ -21,6 +21,16 @@ recovered outcome is identical to an unperturbed run.
 :func:`chaos_schedule` derives a plan for every target from a root
 seed via the SHA-256 seed ladder: same seed, same faults, regardless
 of scheduling, ``--jobs``, or platform.
+
+**Substrate chaos** perturbs the device instead of the process:
+:class:`NoisySpec` attaches a seeded
+:class:`~repro.dram.faults.DeviceNoiseModel` (VRT flips, marginal
+cells, soft errors - optionally activating mid-campaign) to every bank
+of the rebuilt chip, and :func:`device_noise_schedule` derives one
+such spec per target from a root seed.  Combined with ``rounds > 1``
+this drives the robustness invariant tests: the ``definite`` cells of
+a noisy campaign match the noise-free profile, and every injected cell
+ends in quarantine.
 """
 
 from __future__ import annotations
@@ -28,13 +38,14 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..dram.faults import DeviceNoiseModel, NoiseSpec
 from .seeds import ladder_seed
 from .specs import CampaignOutcome, CampaignSpec
 
-__all__ = ["FAULT_KINDS", "ChaosError", "ChaosSpec", "chaos_schedule",
-           "wrap_spec"]
+__all__ = ["FAULT_KINDS", "ChaosError", "ChaosSpec", "NoisySpec",
+           "chaos_schedule", "device_noise_schedule", "wrap_spec"]
 
 FAULT_KINDS = ("crash", "hang", "transient", "corrupt")
 
@@ -128,8 +139,9 @@ def wrap_spec(spec: CampaignSpec, plan: Sequence[str], chaos_dir: str,
         experiment=spec.experiment, vendor=spec.vendor, index=spec.index,
         build_seed=spec.build_seed, run_seed=spec.run_seed,
         n_rows=spec.n_rows, sample_size=spec.sample_size,
-        run_sweep=spec.run_sweep, config=spec.config, trace=spec.trace,
-        plan=tuple(plan), chaos_dir=chaos_dir, hang_s=hang_s)
+        run_sweep=spec.run_sweep, rounds=spec.rounds, config=spec.config,
+        trace=spec.trace, plan=tuple(plan), chaos_dir=chaos_dir,
+        hang_s=hang_s)
 
 
 def chaos_schedule(seed: int, specs: Sequence[CampaignSpec],
@@ -184,4 +196,110 @@ def chaos_schedule(seed: int, specs: Sequence[CampaignSpec],
             else:
                 plan.append("")
         wrapped.append(wrap_spec(spec, plan, chaos_dir, hang_s=hang_s))
+    return wrapped
+
+
+@dataclass(frozen=True)
+class NoisySpec(CampaignSpec):
+    """A campaign spec whose rebuilt chips carry injected device noise.
+
+    Attributes:
+        noise: the :class:`~repro.dram.faults.NoiseSpec` describing the
+            injected populations; ``None`` (or an empty spec) runs
+            clean, leaving the spec byte-equivalent to its base.
+        noise_seed: root of the per-bank noise seed ladder.  Each bank
+            gets its own :class:`~repro.dram.faults.DeviceNoiseModel`
+            seeded by ``ladder_seed(noise_seed, "device-noise",
+            chip, bank)``, so the injected cell set is a pure function
+            of ``(noise_seed, geometry)`` - never of scheduling.
+
+    The injected noise *does* change what the campaign measures, so it
+    joins the checkpoint key (unlike :class:`ChaosSpec`'s process
+    faults, which must not).
+    """
+
+    noise: Optional[NoiseSpec] = None
+    noise_seed: int = 0
+
+    def _identity_extras(self) -> Tuple:
+        if self.noise is None or self.noise.empty:
+            return ()
+        return ("device-noise", repr(self.noise), self.noise_seed)
+
+    def _prepare_chips(self, chips) -> None:
+        if self.noise is None or self.noise.empty:
+            return
+        for chip_idx, chip in enumerate(chips):
+            for bank_idx, bank in enumerate(chip.banks):
+                bank.noise = DeviceNoiseModel(
+                    self.noise, n_rows=bank.n_rows,
+                    row_bits=bank.row_bits,
+                    seed=ladder_seed(self.noise_seed, "device-noise",
+                                     chip_idx, bank_idx))
+
+    def injected_cells(self):
+        """Ground truth: every injected cell as sweep coordinates.
+
+        Rebuilds the per-bank noise models (cheap - position draws
+        only) and maps their physical columns through each bank's
+        address scrambling, yielding ``(chip, bank, row, sys_col)``
+        tuples comparable with campaign detections.
+        """
+        from ..dram.vendors import make_module, vendor
+
+        if self.noise is None or self.noise.empty:
+            return set()
+        if self.experiment == "characterize":
+            chips = [vendor(self.vendor).make_chip(seed=self.build_seed,
+                                                   n_rows=self.n_rows)]
+        else:
+            chips = list(make_module(self.vendor, self.index,
+                                     seed=self.build_seed,
+                                     n_rows=self.n_rows).chips)
+        self._prepare_chips(chips)
+        coords = set()
+        for chip_idx, chip in enumerate(chips):
+            for bank_idx, bank in enumerate(chip.banks):
+                rows, phys = bank.noise.cells()
+                sys_cols = bank.mapping.phys_to_sys()[phys]
+                coords.update(
+                    (chip_idx, bank_idx, int(r), int(c))
+                    for r, c in zip(rows.tolist(), sys_cols.tolist()))
+        return coords
+
+
+def device_noise_schedule(seed: int, specs: Sequence[CampaignSpec],
+                          noise: NoiseSpec,
+                          rounds: Optional[int] = None) -> list:
+    """Wrap ``specs`` with seeded device noise (substrate chaos).
+
+    Every target keeps its own identity seeds; only the *noise* seed
+    is drawn from the ladder (``ladder_seed(seed, "device-noise",
+    <target identity>)``), so the injected populations depend on the
+    root seed and the target - never on list order, ``--jobs``, or
+    platform.
+
+    Args:
+        seed: noise root seed.
+        specs: targets to perturb.
+        noise: the population spec shared by every target (use
+            ``active_after`` to arm the noise mid-campaign).
+        rounds: optionally override every spec's repeat-and-vote
+            rounds at the same time (``None`` keeps each spec's own).
+
+    Returns:
+        One :class:`NoisySpec` per input spec, in input order.
+    """
+    wrapped = []
+    for spec in specs:
+        identity = (spec.experiment, spec.vendor, spec.index,
+                    spec.run_seed)
+        wrapped.append(NoisySpec(
+            experiment=spec.experiment, vendor=spec.vendor,
+            index=spec.index, build_seed=spec.build_seed,
+            run_seed=spec.run_seed, n_rows=spec.n_rows,
+            sample_size=spec.sample_size, run_sweep=spec.run_sweep,
+            rounds=spec.rounds if rounds is None else rounds,
+            config=spec.config, trace=spec.trace, noise=noise,
+            noise_seed=ladder_seed(seed, "device-noise", *identity)))
     return wrapped

@@ -42,6 +42,9 @@ the result - only recover it.
 from __future__ import annotations
 
 import gc
+import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, \
     ProcessPoolExecutor, wait
@@ -131,8 +134,29 @@ class FleetResult:
                 if o.comparison is not None]
 
 
-def _execute_target(spec: CampaignSpec) -> CampaignOutcome:
-    """Worker entry point; must stay module-level for pickling."""
+#: Free (uncharged) watchdog passes granted to a submission whose
+#: worker never provably started before the deadline.  Under heavy
+#: machine load a forked worker can take seconds to begin executing;
+#: charging the *target* for that would burn its retry budget on a
+#: scheduler problem.  Bounded so a pathological host still converges.
+MAX_STALL_PASSES = 3
+
+
+def _execute_target(spec: CampaignSpec,
+                    started_path: Optional[str] = None) -> CampaignOutcome:
+    """Worker entry point; must stay module-level for pickling.
+
+    ``started_path`` is the parallel watchdog's start marker: touching
+    it proves this submission actually began executing, so an expired
+    deadline can be attributed to the target rather than to a worker
+    that never got scheduled.
+    """
+    if started_path is not None:
+        try:
+            with open(started_path, "w"):
+                pass
+        except OSError:
+            pass
     return spec.run()
 
 
@@ -327,11 +351,30 @@ def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
     # unambiguous culprit, so only repeat-crashers are ever charged.
     isolate: List[int] = []
     gates: Dict[int, float] = {}
+    # Start markers: per-submission files a worker touches before it
+    # runs the target, so an expired deadline can distinguish "the
+    # target hung" from "the worker never started" (slow fork under
+    # load).  Only started executions are charged a timeout.
+    marker_dir = tempfile.mkdtemp(prefix="repro-fleet-start-")
+    stall_passes: Dict[int, int] = {}
 
     def requeue(i: int, queue: List[int]) -> None:
         gates[i] = time.monotonic() + run.retry_delay(i)
         queue.append(i)
 
+    try:
+        _run_parallel_loop(run, jobs, ready, isolate, gates, requeue,
+                           marker_dir, stall_passes)
+    finally:
+        shutil.rmtree(marker_dir, ignore_errors=True)
+    return run.result(jobs=jobs)
+
+
+def _run_parallel_loop(run: _FleetRun, jobs: int, ready: List[int],
+                       isolate: List[int], gates: Dict[int, float],
+                       requeue, marker_dir: str,
+                       stall_passes: Dict[int, int]) -> None:
+    marker_seq = 0
     while ready or isolate:
         isolating = bool(isolate)
         queue = isolate if isolating else ready
@@ -343,6 +386,7 @@ def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
                                     initializer=obs.detach) as pool:
             in_flight: Dict[Future, int] = {}
             expiry: Dict[Future, float] = {}
+            markers: Dict[Future, str] = {}
             broke = False
             try:
                 while (queue or in_flight) and not broke:
@@ -351,13 +395,19 @@ def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
                         if i is None:
                             break
                         gates.pop(i, None)
+                        marker = None
+                        if run.timeout_s:
+                            marker_seq += 1
+                            marker = os.path.join(
+                                marker_dir, f"{marker_seq}.started")
                         future = pool.submit(_execute_target,
-                                             run.specs[i])
+                                             run.specs[i], marker)
                         run.launch()
                         in_flight[future] = i
                         if run.timeout_s:
                             expiry[future] = (time.monotonic()
                                               + run.timeout_s)
+                            markers[future] = marker
                         obs.event("fleet.submit",
                                   target=run.specs[i].label())
                     if not in_flight:
@@ -382,6 +432,12 @@ def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
                     for future in done:
                         i = in_flight.pop(future)
                         expiry.pop(future, None)
+                        done_marker = markers.pop(future, None)
+                        if done_marker is not None:
+                            try:
+                                os.unlink(done_marker)
+                            except OSError:
+                                pass
                         try:
                             outcome = future.result()
                         except BrokenProcessPool as exc:
@@ -408,6 +464,7 @@ def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
                                             + list(in_flight.values()))
                         in_flight.clear()
                         expiry.clear()
+                        markers.clear()
                         obs.inc("proc.fleet.pool_rebuilds")
                         if len(casualties) == 1:
                             # Alone in flight: unambiguous crasher.
@@ -429,28 +486,53 @@ def _run_parallel(run: _FleetRun, jobs: int) -> FleetResult:
                             # running task, so kill the workers and
                             # rebuild.  Only the overdue targets are
                             # charged; co-killed ones requeue free.
+                            # An overdue submission whose start marker
+                            # was never touched provably never began
+                            # executing (slow fork under machine
+                            # load) - that is not the target's fault,
+                            # so it requeues uncharged, up to
+                            # MAX_STALL_PASSES times.
                             _kill_pool(pool)
                             broke = True
                             obs.inc("proc.fleet.pool_rebuilds")
-                            overdue = sorted(in_flight.pop(f)
-                                             for f in expired)
+                            overdue: List[int] = []
+                            stalled: List[int] = []
+                            for f in expired:
+                                i = in_flight.pop(f)
+                                marker = markers.pop(f, None)
+                                started = (marker is None
+                                           or os.path.exists(marker))
+                                if (started or stall_passes.get(i, 0)
+                                        >= MAX_STALL_PASSES):
+                                    overdue.append(i)
+                                else:
+                                    stall_passes[i] = \
+                                        stall_passes.get(i, 0) + 1
+                                    stalled.append(i)
                             survivors = sorted(in_flight.values())
                             in_flight.clear()
                             expiry.clear()
-                            for i in overdue:
+                            markers.clear()
+                            for i in sorted(overdue):
                                 run.charge(i)
                                 timeout_exc = TargetTimeout(
                                     run.timeout_s)
                                 if run.note_failure(i, timeout_exc,
                                                     "timeout"):
                                     requeue(i, ready)
+                            for i in sorted(stalled):
+                                obs.event(
+                                    "fleet.stalled_start",
+                                    target=run.specs[i].label(),
+                                    passes=stall_passes[i])
+                                obs.inc("proc.fleet.stalled_starts")
+                            ready.extend(sorted(stalled))
                             ready.extend(survivors)
             except BaseException:
                 # Strict failure or interrupt: do not let pool
                 # shutdown block on a worker that may be hung.
                 _kill_pool(pool)
                 raise
-    return run.result(jobs=jobs)
 
 
 def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,

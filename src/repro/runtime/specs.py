@@ -57,6 +57,9 @@ class CampaignOutcome:
         metrics: the worker-side metrics registry, merged fleet-wide
             by :func:`repro.runtime.fleet.run_fleet` exactly like
             :meth:`TestStats.merge` merges the I/O counters.
+        quarantine: unstable cells
+            (:class:`repro.robust.QuarantineSet`) when the campaign
+            ran with ``rounds > 1``; None on the legacy path.
     """
 
     spec: "CampaignSpec"
@@ -69,17 +72,23 @@ class CampaignOutcome:
     result: Optional[ParborResult] = None
     trace_records: Optional[List[Dict[str, Any]]] = None
     metrics: Optional["obs.MetricsRegistry"] = None
+    quarantine: Optional[object] = None
 
     def signature(self) -> Tuple:
         """A comparable digest of the result-bearing fields.
 
         Two outcomes are equivalent iff their signatures are equal;
         the parallel-equivalence tests compare these across ``jobs``
-        settings.
+        settings.  The quarantine joins the signature only when the
+        campaign produced one, so legacy signatures (and the
+        checkpoints storing them) are unchanged.
         """
-        return (self.spec.label(), tuple(self.distances),
+        base = (self.spec.label(), tuple(self.distances),
                 self.total_tests, tuple(self.tests_per_level),
                 tuple(sorted(self.detected)))
+        if self.quarantine is not None:
+            base += (self.quarantine.signature(),)
+        return base
 
 
 @dataclass(frozen=True)
@@ -98,6 +107,10 @@ class CampaignSpec:
             ("characterize" only; "compare" uses the driver default).
         run_sweep: run the final neighbour-aware sweep
             ("characterize" only; "compare" always sweeps).
+        rounds: repeat-and-vote repetitions per test round (see
+            :class:`repro.robust.RoundsPolicy`).  The default ``1``
+            is the legacy single-pass path and leaves checkpoint keys
+            and outcome signatures byte-identical to earlier releases.
         config: full configuration override (wins over sample_size).
         trace: collect an observability trace for this target.  Inside
             a worker process this opens a fresh session and ships the
@@ -114,6 +127,7 @@ class CampaignSpec:
     n_rows: int = 128
     sample_size: int = 2000
     run_sweep: bool = True
+    rounds: int = 1
     config: Optional[ParborConfig] = field(default=None, compare=False)
     trace: bool = field(default=False, compare=False)
 
@@ -139,8 +153,32 @@ class CampaignSpec:
                             self.sample_size, int(self.run_sweep)]
         if self.config is not None:
             parts.append(repr(self.config))
+        # Robust-profiling fields join the key only when they diverge
+        # from the legacy defaults, so existing checkpoints stay valid.
+        if self.rounds != 1:
+            parts.extend(["rounds", self.rounds])
+        parts.extend(self._identity_extras())
         digest = ladder_seed(self.build_seed, *parts)
         return f"{self.label()}#{digest:016x}"
+
+    def _identity_extras(self) -> Tuple:
+        """Extra result-affecting identity parts (subclass hook).
+
+        Subclasses that change what a campaign *measures* (not how it
+        is scheduled) - e.g. :class:`repro.runtime.chaos.NoisySpec`'s
+        injected device noise - return the extra parts here so their
+        checkpoint keys never collide with the clean spec's.
+        """
+        return ()
+
+    def _prepare_chips(self, chips: List) -> None:
+        """Post-build hook over the freshly manufactured chips.
+
+        Called once per run, after the chip/module is rebuilt from the
+        spec's seeds and before the campaign starts.  The default does
+        nothing; :class:`repro.runtime.chaos.NoisySpec` attaches its
+        seeded device-noise models here.
+        """
 
     def trace_id(self) -> str:
         """Stable trace identity: the seed-ladder path of this target.
@@ -205,15 +243,17 @@ class CampaignSpec:
 
         profile = vendor(self.vendor)
         chip = profile.make_chip(seed=self.build_seed, n_rows=self.n_rows)
+        self._prepare_chips([chip])
         cfg = self.config or ParborConfig(sample_size=self.sample_size)
         result = run_parbor(chip, cfg, seed=self.run_seed,
-                            run_sweep=self.run_sweep)
+                            run_sweep=self.run_sweep, rounds=self.rounds)
         return CampaignOutcome(
             spec=self, distances=list(result.distances),
             detected=set(result.detected),
             total_tests=result.total_tests,
             tests_per_level=list(result.recursion.tests_per_level),
-            stats=result.stats, result=result)
+            stats=result.stats, result=result,
+            quarantine=result.quarantine)
 
     def _run_compare(self) -> CampaignOutcome:
         from ..analysis.experiments import compare_module
@@ -221,11 +261,14 @@ class CampaignSpec:
 
         module = make_module(self.vendor, self.index,
                              seed=self.build_seed, n_rows=self.n_rows)
+        self._prepare_chips(list(module.chips))
         comparison, result = compare_module(module, seed=self.run_seed,
-                                            config=self.config)
+                                            config=self.config,
+                                            rounds=self.rounds)
         return CampaignOutcome(
             spec=self, distances=list(result.distances),
             detected=set(result.detected),
             total_tests=result.total_tests,
             tests_per_level=list(result.recursion.tests_per_level),
-            stats=result.stats, comparison=comparison, result=result)
+            stats=result.stats, comparison=comparison, result=result,
+            quarantine=result.quarantine)

@@ -87,6 +87,22 @@ class TestReportCommand:
         assert "wall clock" in with_timing
         assert "wall clock" not in without
 
+    def test_profile_robustness_section(self, trace_file, tmp_path):
+        """A ``--rounds`` trace gains a profile-robustness rollup; a
+        single-pass trace does not carry one."""
+        single = render_report(read_jsonl(trace_file),
+                               include_timing=False)
+        assert "profile robustness" not in single
+
+        robust = tmp_path / "robust.jsonl"
+        rc = main(["characterize", *TINY_ARGS, "--rounds", "2",
+                   "--trace", str(robust)])
+        assert rc == 0
+        report = render_report(read_jsonl(robust), include_timing=False)
+        assert "profile robustness" in report
+        assert "profile.rounds" in report
+        assert "profile.control_rounds" in report
+
     def test_report_missing_file(self, tmp_path, capsys):
         rc = main(["report", str(tmp_path / "nope.jsonl")])
         assert rc == 2

@@ -1,0 +1,1 @@
+"""Noise-robust verdict layer: repeat-and-vote, quarantine, gates."""

@@ -1,0 +1,148 @@
+"""Quarantine guardbanding through DC-REF and the mitigation layers."""
+
+import numpy as np
+import pytest
+
+from repro.core import controllers_for
+from repro.dcref import (guardbanded_bins, profile_retention,
+                         under_refresh_report)
+from repro.dcref.raidr import bins_from_failures
+from repro.dram import CouplingSpec, DramChip, FaultSpec, vendor
+from repro.mitigate import ecc_coverage, row_retirement
+from repro.robust import ProfileDriftError, QuarantineSet
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return vendor("A").make_chip(seed=5, n_rows=64)
+
+
+def quiet_chip(seed=3, n_rows=64, **fault_kwargs):
+    """A chip whose only failures come from the requested populations."""
+    profile = vendor("A")
+    return DramChip(mapping=profile.mapping(8192), n_rows=n_rows,
+                    coupling_spec=CouplingSpec(n_cells=0),
+                    fault_spec=FaultSpec(soft_error_rate=0.0,
+                                         **fault_kwargs),
+                    seed=seed)
+
+
+class TestProfilingGuardband:
+    def test_quarantined_row_forced_weak(self, chip):
+        ctrls = controllers_for(chip)
+        clean = profile_retention(ctrls, interval_s=0.256)
+        # Pick a row the screen passed and quarantine a cell in it.
+        mask = clean.weak_rows[(0, 0)]
+        passing = int(np.flatnonzero(~mask)[0])
+        quarantine = QuarantineSet()
+        quarantine.add((0, 0, passing, 17), "unstable")
+        guarded = profile_retention(ctrls, interval_s=0.256,
+                                    quarantine=quarantine)
+        assert guarded.weak_rows[(0, 0)][passing]
+        assert guarded.guardbanded_rows == 1
+        # Guardbanding only ever adds weak rows.
+        for key, clean_mask in clean.weak_rows.items():
+            assert (guarded.weak_rows[key] | ~clean_mask).all()
+
+    def test_quarantine_never_relaxes_a_weak_row(self, chip):
+        ctrls = controllers_for(chip)
+        clean = profile_retention(ctrls, interval_s=0.256)
+        failing = int(np.flatnonzero(clean.weak_rows[(0, 0)])[0]) \
+            if clean.weak_rows[(0, 0)].any() else None
+        if failing is None:
+            pytest.skip("no weak rows at this geometry")
+        quarantine = QuarantineSet()
+        quarantine.add((0, 0, failing, 3), "unstable")
+        guarded = profile_retention(ctrls, interval_s=0.256,
+                                    quarantine=quarantine)
+        # Already-weak row: no double count, still weak.
+        assert guarded.weak_rows[(0, 0)][failing]
+        assert guarded.guardbanded_rows == 0
+
+    def test_drift_gate_trips_on_vrt_chip(self):
+        chip = quiet_chip(n_vrt_cells=200, vrt_toggle_prob=0.5,
+                          vrt_leaky_start_fraction=0.5,
+                          vrt_marginal_threshold_range=(0.01, 0.05))
+        ctrls = controllers_for(chip)
+        with pytest.raises(ProfileDriftError):
+            profile_retention(ctrls, interval_s=0.256, rounds=4,
+                              drift_threshold=0.0)
+
+    def test_drift_gate_degrades_when_not_strict(self):
+        chip = quiet_chip(n_vrt_cells=200, vrt_toggle_prob=0.5,
+                          vrt_leaky_start_fraction=0.5,
+                          vrt_marginal_threshold_range=(0.01, 0.05))
+        ctrls = controllers_for(chip)
+        prof = profile_retention(ctrls, interval_s=0.256, rounds=4,
+                                 drift_threshold=0.0, strict=False)
+        assert prof.integrity is not None
+        assert not prof.integrity.ok
+        assert prof.integrity.rounds == 4
+
+    def test_stable_chip_passes_drift_gate(self):
+        chip = quiet_chip()  # no random populations at all
+        prof = profile_retention(controllers_for(chip),
+                                 interval_s=0.256, rounds=3,
+                                 drift_threshold=0.0)
+        assert prof.integrity.ok and prof.integrity.stable
+
+
+class TestGuardbandedBins:
+    DETECTED = {(0, 0, 3, 10), (0, 1, 5, 20)}
+
+    def test_without_quarantine_matches_raidr(self):
+        bins = guardbanded_bins(self.DETECTED, None, 1, 2, 8)
+        assert (bins == bins_from_failures(self.DETECTED, 1, 2, 8)).all()
+
+    def test_quarantined_rows_join_the_mask(self):
+        quarantine = QuarantineSet()
+        quarantine.add((0, 0, 6, 99), "unstable")
+        bins = guardbanded_bins(self.DETECTED, quarantine, 1, 2, 8)
+        assert bins[0, 0, 6]
+        assert bins[0, 0, 3] and bins[0, 1, 5]
+        assert bins.sum() == 3
+
+    def test_under_refresh_report_flags_missed_rows(self):
+        bins = np.zeros((1, 2, 8), dtype=bool)
+        bins[0, 0, 3] = True
+        report = under_refresh_report(bins, [(0, 0, 3), (0, 1, 5)])
+        assert not report.ok
+        assert report.under_refreshed == {(0, 1, 5)}
+        assert report.n_weak_rows == 1
+        assert report.n_true_failing == 2
+
+    def test_under_refresh_report_ok_when_covered(self):
+        bins = np.ones((1, 2, 8), dtype=bool)
+        report = under_refresh_report(bins, [(0, 0, 3)])
+        assert report.ok and not report.under_refreshed
+
+    def test_out_of_range_truth_counts_as_missed(self):
+        bins = np.ones((1, 1, 4), dtype=bool)
+        report = under_refresh_report(bins, [(2, 0, 0)])
+        assert not report.ok
+
+
+class TestMitigationConsumers:
+    DETECTED = [(0, 0, 1, 10), (0, 0, 1, 50), (0, 1, 2, 5)]
+
+    def quarantine(self):
+        q = QuarantineSet()
+        q.add((0, 0, 1, 99), "unstable")   # row already retired
+        q.add((0, 1, 7, 3), "unstable")    # new row
+        return q
+
+    def test_retirement_includes_quarantined_rows(self):
+        plain = row_retirement(self.DETECTED, 1, 2, 8)
+        guarded = row_retirement(self.DETECTED, 1, 2, 8,
+                                 quarantine=self.quarantine())
+        assert plain.retired_rows == 2
+        assert guarded.retired_rows == 3
+        assert guarded.quarantined_rows == 1  # only the *extra* row
+
+    def test_ecc_counts_quarantined_cells_as_vulnerable(self):
+        plain = ecc_coverage(self.DETECTED)
+        guarded = ecc_coverage(self.DETECTED,
+                               quarantine=self.quarantine())
+        assert (guarded.total_vulnerable_cells
+                == plain.total_vulnerable_cells + 2)
+        assert guarded.uncorrectable_words >= plain.uncorrectable_words

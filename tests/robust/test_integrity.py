@@ -1,0 +1,77 @@
+"""Profile signatures and the fail-closed drift gate."""
+
+import pytest
+
+from repro import obs
+from repro.robust import (ProfileDriftError, check_drift,
+                          profile_signature)
+
+ROUND_A = {(0, 0, 1, 1), (0, 0, 2, 2)}
+ROUND_B = {(0, 0, 1, 1), (0, 0, 3, 3)}
+
+
+class TestSignature:
+    def test_order_and_dtype_independent(self):
+        import numpy as np
+        listed = [(0, 0, 2, 2), (0, 0, 1, 1)]
+        numpied = [tuple(np.int64(x) for x in c) for c in reversed(listed)]
+        assert profile_signature(listed) == profile_signature(numpied)
+
+    def test_different_sets_differ(self):
+        assert profile_signature(ROUND_A) != profile_signature(ROUND_B)
+
+    def test_empty_set_is_stable(self):
+        assert profile_signature([]) == profile_signature(set())
+
+
+class TestCheckDrift:
+    def test_identical_rounds_have_zero_drift(self):
+        integrity = check_drift([ROUND_A, set(ROUND_A)], threshold=0.0)
+        assert integrity.ok and integrity.stable
+        assert integrity.drift == 0.0
+        assert integrity.rounds == 2
+        assert len(set(integrity.signatures)) == 1
+
+    def test_disjoint_rounds_have_full_drift(self):
+        integrity = check_drift([{(0, 0, 1, 1)}, {(0, 0, 2, 2)}],
+                                threshold=None)
+        assert integrity.drift == 1.0
+        assert integrity.ok  # gate disabled
+        assert not integrity.stable
+
+    def test_partial_overlap_drift_value(self):
+        # |A ^ B| / |A | B| = 2 / 3
+        integrity = check_drift([ROUND_A, ROUND_B], threshold=None)
+        assert integrity.drift == pytest.approx(2 / 3)
+
+    def test_worst_pair_wins(self):
+        rounds = [ROUND_A, set(ROUND_A), {(0, 0, 9, 9)}]
+        integrity = check_drift(rounds, threshold=None)
+        assert integrity.drift == 1.0
+
+    def test_empty_rounds_no_drift(self):
+        assert check_drift([set(), set()], threshold=0.0).ok
+
+    def test_strict_gate_raises(self):
+        with pytest.raises(ProfileDriftError) as err:
+            check_drift([ROUND_A, ROUND_B], threshold=0.1)
+        assert err.value.drift == pytest.approx(2 / 3)
+        assert err.value.threshold == 0.1
+
+    def test_non_strict_gate_degrades(self):
+        with obs.session("drift-test") as sess:
+            integrity = check_drift([ROUND_A, ROUND_B], threshold=0.1,
+                                    strict=False, context="unit")
+        assert not integrity.ok
+        events = [r for r in sess.tracer.records
+                  if r.get("kind") == "event"
+                  and r["name"] == "profile.drift"]
+        assert events and events[0]["attrs"]["context"] == "unit"
+        counters = sess.metrics.to_dict()["counters"]
+        assert counters["profile.drift_gate_trips"] == 1
+
+    def test_drift_observed_even_when_gate_passes(self):
+        with obs.session("drift-ok") as sess:
+            check_drift([ROUND_A, ROUND_B], threshold=0.9)
+        hists = sess.metrics.to_dict()["histograms"]
+        assert hists["profile.drift"]["max"] == pytest.approx(2 / 3)

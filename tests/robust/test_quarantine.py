@@ -1,0 +1,95 @@
+"""QuarantineSet semantics and its JSON serialization contract."""
+
+import numpy as np
+import pytest
+
+from repro.robust import QuarantineSet
+
+A = (0, 0, 3, 17)
+B = (0, 1, 5, 99)
+
+
+class TestQuarantineSet:
+    def test_first_reason_wins(self):
+        q = QuarantineSet()
+        q.add(A, "control-failure")
+        q.add(A, "inconsistent-votes")
+        assert q.reasons[A] == "control-failure"
+        assert len(q) == 1
+
+    def test_numpy_coords_normalised(self):
+        q = QuarantineSet()
+        q.add(tuple(np.int64(x) for x in A), "vrt")
+        assert A in q
+        assert tuple(np.int32(x) for x in A) in q
+        assert all(isinstance(x, int) for x in next(iter(q.reasons)))
+
+    def test_update_and_bool(self):
+        q = QuarantineSet()
+        assert not q
+        q.update([A, B], "noise")
+        assert q and q.cells == {A, B}
+
+    def test_merge_keeps_first_reason(self):
+        left = QuarantineSet()
+        left.add(A, "control-failure")
+        right = QuarantineSet()
+        right.add(A, "inconsistent-votes")
+        right.add(B, "noise")
+        merged = left.merge(right)
+        assert merged.reasons == {A: "control-failure", B: "noise"}
+        # Inputs untouched.
+        assert len(left) == 1 and len(right) == 2
+
+    def test_rows_and_row_mask(self):
+        q = QuarantineSet()
+        q.update([A, (0, 0, 3, 900), B], "noise")
+        assert q.rows() == {(0, 0, 3), (0, 1, 5)}
+        mask = q.row_mask(1, 2, 8)
+        assert mask.shape == (1, 2, 8)
+        assert mask[0, 0, 3] and mask[0, 1, 5]
+        assert mask.sum() == 2
+
+    def test_row_mask_clips_out_of_range(self):
+        q = QuarantineSet()
+        q.add((5, 9, 999, 0), "noise")
+        assert q.row_mask(1, 2, 8).sum() == 0
+
+    def test_reason_counts_sorted(self):
+        q = QuarantineSet()
+        q.add(A, "vrt")
+        q.add(B, "control-failure")
+        q.add((1, 0, 0, 0), "vrt")
+        assert q.reason_counts() == {"control-failure": 1, "vrt": 2}
+
+    def test_signature_is_order_independent(self):
+        q1 = QuarantineSet()
+        q1.add(A, "x")
+        q1.add(B, "y")
+        q2 = QuarantineSet()
+        q2.add(B, "y")
+        q2.add(A, "x")
+        assert q1.signature() == q2.signature()
+        q2.add((2, 0, 0, 0), "z")
+        assert q1.signature() != q2.signature()
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        q = QuarantineSet()
+        q.add(A, "control-failure")
+        q.add(B, "inconsistent-votes")
+        back = QuarantineSet.from_json(q.to_json())
+        assert back.reasons == q.reasons
+        assert back.signature() == q.signature()
+
+    def test_save_load(self, tmp_path):
+        q = QuarantineSet()
+        q.update([A, B], "noise")
+        path = str(tmp_path / "quarantine.json")
+        q.save(path)
+        assert QuarantineSet.load(path).reasons == q.reasons
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            QuarantineSet.from_json({"schema": 99, "cells": []})

@@ -20,7 +20,8 @@ import pytest
 
 from repro.analysis import (coverage_split, format_distance_set,
                             format_percent, format_table,
-                            recursion_for_vendor)
+                            ranking_histogram, recursion_for_vendor)
+from repro.dram.faults import NoiseSpec
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
 REGEN = bool(os.environ.get("REPRO_REGEN_GOLDENS"))
@@ -64,6 +65,31 @@ def test_table1_test_counts_golden(recursions, name):
     rows = [[name, *counts, sum(counts)]]
     _check(f"table1_vendor_{name}", format_table(
         ["Mfr", "L1", "L2", "L3", "L4", "L5", "Total"], rows))
+
+
+NOISE = NoiseSpec(n_vrt_cells=4, vrt_fail_prob=0.9,
+                  n_marginal_cells=4, marginal_fail_prob=0.6,
+                  soft_error_rate=2e-6)
+
+TRUE_REGIONS = {"A": {-1, 1, -2, 2, -6, 6}, "B": {0, -8, 8}}
+
+
+@pytest.mark.parametrize("name", ["A", "B"])
+def test_fig14_ranking_robust_noise_golden(name):
+    """Tiny-geometry Figure 14 with injected noise + rounds=3 voting,
+    pinned character-for-character.  Also asserts the paper-level fact
+    at this geometry: the true regions outrank every noise distance."""
+    hist = ranking_histogram(name, level=4, **TINY, rounds=3,
+                             noise=NOISE)
+    rows = [[d, f"{v:.3f}", "*" if d in TRUE_REGIONS[name] else ""]
+            for d, v in sorted(hist.items())]
+    true_found = TRUE_REGIONS[name] & set(hist)
+    tail = set(hist) - TRUE_REGIONS[name]
+    assert true_found
+    assert (min(hist[d] for d in true_found)
+            > max((hist[d] for d in tail), default=0.0))
+    _check(f"fig14_robust_noise_{name}", format_table(
+        ["Distance", "Normalised frequency", "True region"], rows))
 
 
 def test_fig13_coverage_golden():
