@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checks (the CI docs job).
 
-Three passes over the prose:
+Four passes:
 
 1. **Relative links resolve.** Every ``[text](target)`` markdown link
    in the top-level docs and ``docs/*.md`` whose target is not an URL
@@ -10,8 +10,15 @@ Three passes over the prose:
    line inside a fenced code block must be accepted by the real
    argument parser (``repro.cli.build_parser``), so command renames or
    flag removals cannot silently strand the docs.
-3. **Referenced bench/test files exist.** Backtick references to
-   ``benchmarks/*.py`` and ``tests/...py`` paths must exist.
+3. **Referenced files exist.** Backtick references to
+   ``benchmarks/...``, ``tests/...``, ``examples/...`` and
+   ``scripts/...`` paths must exist — including
+   ``benchmarks/results/*.txt``, which are tracked in the repository.
+4. **Kernel-contract cross-references.** The modules that carry the
+   packed/unpacked equivalence invariant (``repro._kernels``,
+   ``repro.dram.bank``) must cite ``docs/KERNELS.md`` in their module
+   docstrings, and ``docs/KERNELS.md`` must exist — the layout
+   contract cannot silently detach from the code that implements it.
 
 Run from the repository root:
 
@@ -74,11 +81,36 @@ def check_cli_commands(path: pathlib.Path, text: str) -> list:
 def check_file_refs(path: pathlib.Path, text: str) -> list:
     errors = []
     for ref in FILE_REF_RE.findall(text):
-        if ref.startswith("benchmarks/results/"):
-            continue  # generated artefacts, not tracked
         if not (ROOT / ref).exists():
             errors.append(f"{path.relative_to(ROOT)}: referenced file "
                           f"missing -> {ref}")
+    return errors
+
+
+# Modules whose docstrings must cite the kernel contract: they hold
+# the two halves of the packed/unpacked equivalence invariant.
+KERNEL_CONTRACT_MODULES = ("src/repro/_kernels.py",
+                           "src/repro/dram/bank.py")
+
+
+def check_kernel_contract() -> list:
+    import ast
+
+    errors = []
+    contract = ROOT / "docs" / "KERNELS.md"
+    if not contract.exists():
+        return [f"missing kernel contract document -> "
+                f"{contract.relative_to(ROOT)}"]
+    for rel in KERNEL_CONTRACT_MODULES:
+        module = ROOT / rel
+        if not module.exists():
+            errors.append(f"{rel}: kernel-contract module missing")
+            continue
+        doc = ast.get_docstring(ast.parse(module.read_text())) or ""
+        if "docs/KERNELS.md" not in doc:
+            errors.append(f"{rel}: module docstring does not cite "
+                          f"docs/KERNELS.md (the packed-layout "
+                          f"contract)")
     return errors
 
 
@@ -89,6 +121,7 @@ def main() -> int:
         errors += check_links(path, text)
         errors += check_cli_commands(path, text)
         errors += check_file_refs(path, text)
+    errors += check_kernel_contract()
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     checked = ", ".join(str(p.relative_to(ROOT)) for p in DOC_FILES)

@@ -1,11 +1,22 @@
 """A DRAM bank: the unit of storage and failure evaluation.
 
-The bank stores its rows as a 2-D uint8 array in *charge domain,
-physical column order*. That representation makes the data-dependent
-failure model a direct vectorised evaluation (physical neighbours are
-adjacent array columns; charged == 1 regardless of true/anti cell
-polarity) while the system-facing interface handles both the vendor
-address scrambling and the true/anti-cell data inversion.
+The bank stores its rows bit-packed: ``charge_words`` is a 2-D
+``uint64`` array in *charge domain, physical column order*, with
+physical column ``p`` in bit ``p % 64`` of word ``p // 64`` (the layout
+contract lives in :mod:`repro._kernels` and ``docs/KERNELS.md``). That
+representation makes the write / decay / readback hot paths word-wise
+boolean algebra (physical neighbours are adjacent bits; charged == 1
+regardless of true/anti cell polarity) while the system-facing
+interface handles both the vendor address scrambling and the true/anti
+cell data inversion.
+
+**Equivalence invariant.** Packing is representation only: the
+:attr:`~Bank.charge` property unpacks to exactly the dense uint8 array
+the bank historically stored, and every operation - reference kernels
+(:func:`repro._kernels.reference_kernels`) or packed kernels - leaves
+``unpack(charge_words)`` in the same state and consumes the bank RNG
+identically.  ``tests/runtime/test_kernel_differential.py`` and
+``tests/runtime/test_packed_kernels.py`` enforce this differentially.
 
 True vs. anti cells: a *true* cell stores data '1' as charge, an *anti*
 cell stores data '0' as charge (paper footnote 3). We model polarity
@@ -19,12 +30,17 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .._kernels import reference_kernels_enabled
+from .._kernels import (clear_rows_masks, gather_bits, or_rows_masks,
+                        pack_rows, packed_words, reference_kernels_enabled,
+                        scatter_assign_bits, scatter_flip_bits,
+                        scatter_span_masks, tail_mask, unpack_rows)
 from .cells import CoupledCellPopulation
 from .faults import RandomFaultModel
 from .mapping import AddressMapping
 
 __all__ = ["Bank"]
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
 class Bank:
@@ -64,14 +80,29 @@ class Bank:
         #: Noise is unioned into every retention read's failures -
         #: it can only add observed corruption, never cancel a flip.
         self.noise = None
-        #: charge state, physical order: shape (n_rows, row_bits).
-        self.charge = np.zeros((n_rows, self.row_bits), dtype=np.uint8)
+        self._n_words = packed_words(self.row_bits)
+        self._tail = tail_mask(self.row_bits)
+        #: charge state, physical order, bit-packed: shape
+        #: (n_rows, packed_words(row_bits)), uint64, LSB-first.
+        self.charge_words = np.zeros((n_rows, self._n_words),
+                                     dtype=np.uint64)
+
+    @property
+    def charge(self) -> np.ndarray:
+        """Charge state as a dense uint8 ``(n_rows, row_bits)`` array.
+
+        Unpacked view of :attr:`charge_words` (a fresh array, not a
+        live view - mutations do not write back).  This is the array
+        the bank historically stored; the reference kernels and
+        external inspectors still consume it.
+        """
+        return unpack_rows(self.charge_words, self.row_bits)
 
     # -- system-facing I/O --------------------------------------------
 
     def _to_charge(self, rows: np.ndarray, data_sys: np.ndarray
                    ) -> np.ndarray:
-        """Scramble + polarity-invert system-order data rows."""
+        """Scramble + polarity-invert system-order data rows (dense)."""
         phys = data_sys[..., self.mapping.phys_to_sys()]
         anti = self.anti_rows[rows]
         return phys ^ np.asarray(anti, dtype=np.uint8)[..., None]
@@ -83,25 +114,26 @@ class Bank:
         if data_sys.shape != (self.row_bits,):
             raise ValueError(
                 f"row data must have shape ({self.row_bits},)")
-        self.charge[row] = self._to_charge(np.asarray([row]),
-                                           data_sys[None, :])[0]
+        self.charge_words[row] = pack_rows(
+            self._to_charge(np.asarray([row]), data_sys[None, :])[0])
 
     def write_rows(self, rows: np.ndarray, data_sys: np.ndarray) -> None:
         """Write several rows at once (vectorised)."""
         rows = np.asarray(rows)
         data_sys = np.asarray(data_sys, dtype=np.uint8)
         if data_sys.ndim == 1 and not reference_kernels_enabled():
-            # Broadcast write: scramble the single row once (memoized
-            # on the shared vendor mapping), then apply the per-row
-            # polarity with one outer XOR instead of gathering the
-            # permutation for every row.
-            scrambled = self.mapping.scramble_cached(data_sys)
-            anti = self.anti_rows[rows].astype(np.uint8)
-            self.charge[rows] = scrambled[None, :] ^ anti[:, None]
+            # Broadcast write: scramble + pack the single row once
+            # (memoized on the shared vendor mapping, both polarities),
+            # then one np.where selects the per-row polarity - the
+            # whole write moves words, never cells.
+            plain, inverted = self.mapping.scramble_packed(data_sys)
+            anti = self.anti_rows[rows]
+            self.charge_words[rows] = np.where(anti[:, None], inverted,
+                                               plain)
             return
         if data_sys.ndim == 1:
             data_sys = np.broadcast_to(data_sys, (len(rows), self.row_bits))
-        self.charge[rows] = self._to_charge(rows, data_sys)
+        self.charge_words[rows] = pack_rows(self._to_charge(rows, data_sys))
 
     def write_rows_patched(self, rows: np.ndarray, base: int,
                            spans: Optional[Tuple[np.ndarray, np.ndarray,
@@ -113,10 +145,10 @@ class Bank:
         Equivalent to building the full system-order array - ``base``
         everywhere, then ``spans`` of ``size`` system bits overwritten
         with their value, then individual ``points`` overwritten last -
-        and calling :meth:`write_rows`, but scatters only the patched
-        positions into the charge array instead of scrambling whole
-        rows.  This is the write primitive of the recursive region
-        test, whose patches shrink with the region size.
+        and calling :meth:`write_rows`, but combines pre-packed span
+        masks word-wise instead of scrambling whole rows.  This is the
+        write primitive of the recursive region test, whose patches
+        shrink with the region size.
 
         Args:
             rows: bank row indices being written.
@@ -129,12 +161,10 @@ class Bank:
         """
         rows = np.asarray(rows)
         n = len(rows)
-        patch_cells = (0 if spans is None else len(spans[0]) * spans[2]) \
-            + (0 if points is None else len(points[0]))
-        if patch_cells * 2 > n * self.row_bits:
-            # Dense fallback: the patches cover most of the rows, so
-            # materialising the system-order data and scrambling it
-            # wholesale is cheaper than scattering.
+        if reference_kernels_enabled():
+            # Reference: materialise the dense system-order data and
+            # write it wholesale - the executable specification the
+            # packed path below must match bit for bit.
             data = np.full((n, self.row_bits), base, dtype=np.uint8)
             if spans is not None:
                 row_idx, starts, size, value = spans
@@ -143,22 +173,38 @@ class Bank:
             if points is not None:
                 row_idx, cols, value = points
                 data[row_idx, cols] = value
-            self.charge[rows] = self._to_charge(rows, data)
+            self.charge_words[rows] = pack_rows(self._to_charge(rows, data))
             return
 
-        anti = self.anti_rows[rows].astype(np.uint8)
-        block = np.empty((n, self.row_bits), dtype=np.uint8)
-        block[:] = (np.uint8(base) ^ anti)[:, None]
-        s2p = self.mapping.sys_to_phys()
+        anti = self.anti_rows[rows]
+        # Background fill in charge domain: base XOR polarity per row.
+        fill = (np.uint8(base) ^ anti.astype(np.uint8)).astype(bool)
+        block = np.zeros((n, self._n_words), dtype=np.uint64)
+        block[fill] = _ONES
+        block[:, -1] &= self._tail
         if spans is not None and len(spans[0]):
             row_idx, starts, size, value = spans
-            sys_idx = starts[:, None] + np.arange(size, dtype=np.int64)
-            rr = np.repeat(row_idx, size)
-            block[rr, s2p[sys_idx.ravel()]] = np.uint8(value) ^ anti[rr]
+            starts = np.asarray(starts, dtype=np.int64)
+            charged = (np.uint8(value) ^ anti[row_idx].astype(np.uint8)
+                       ).astype(bool)
+            if self.row_bits % size == 0 and not (starts % size).any():
+                # Region-aligned spans (the recursion's case): apply
+                # the cached sparse masks - O(region bits), not O(row).
+                word_idx, masks = self.mapping.region_masks_sparse(size)
+                g = starts // size
+                scatter_span_masks(block, row_idx, word_idx[g], masks[g],
+                                   charged)
+            else:
+                masks = self.mapping.span_masks(starts, size)
+                or_rows_masks(block, row_idx[charged], masks[charged])
+                clear_rows_masks(block, row_idx[~charged],
+                                 masks[~charged])
         if points is not None and len(points[0]):
             row_idx, cols, value = points
-            block[row_idx, s2p[cols]] = np.uint8(value) ^ anti[row_idx]
-        self.charge[rows] = block
+            charge_v = np.uint8(value) ^ anti[row_idx].astype(np.uint8)
+            scatter_assign_bits(block, row_idx,
+                                self.mapping.sys_to_phys()[cols], charge_v)
+        self.charge_words[rows] = block
 
     def write_all(self, data_sys: np.ndarray) -> None:
         """Write every row with the same (or per-row) system-order data."""
@@ -167,7 +213,8 @@ class Bank:
     def read_row(self, row: int) -> np.ndarray:
         """Immediate (non-retention) read of one row, system order."""
         self._check_row(row)
-        data_phys = self.charge[row] ^ np.uint8(self.anti_rows[row])
+        data_phys = (unpack_rows(self.charge_words[row], self.row_bits)
+                     ^ np.uint8(self.anti_rows[row]))
         return data_phys[self.mapping.sys_to_phys()]
 
     # -- retention reads ------------------------------------------------
@@ -194,12 +241,19 @@ class Bank:
         coupled = self.coupled
         if visible_rows is not None:
             coupled = coupled.subset(np.isin(coupled.row, visible_rows))
-        fail = coupled.evaluate_failures(self.charge, self._rng,
-                                         stress=self.stress)
+        if reference_kernels_enabled():
+            charge = self.charge  # unpack once, share across evaluators
+            fail = coupled.evaluate_failures(charge, self._rng,
+                                             stress=self.stress)
+            f_rows, f_phys = self.faults.retention_flips(
+                charge, stress=self.stress)
+        else:
+            fail = coupled.evaluate_failures_packed(
+                self.charge_words, self._rng, stress=self.stress)
+            f_rows, f_phys = self.faults.retention_flips_packed(
+                self.charge_words, stress=self.stress)
         rows = coupled.row[fail]
         phys = coupled.phys[fail]
-        f_rows, f_phys = self.faults.retention_flips(self.charge,
-                                             stress=self.stress)
         rows = np.concatenate([rows, f_rows])
         phys = np.concatenate([phys, f_phys])
         sys_cols = self.mapping.phys_to_sys()[phys]
@@ -243,40 +297,59 @@ class Bank:
         rows = np.asarray(rows)
         f_rows, f_cols, n_rows_, n_cols = self._retention_flips(
             visible_rows=rows if coupled_rows_only else None)
-        data_phys = self.charge[rows] ^ self.anti_rows[rows, None].astype(
-            np.uint8)
-        data_sys = data_phys[:, self.mapping.sys_to_phys()]
-        noise_idx = noise_cols = noise_written = None
-        if len(n_rows_):
-            # Forced corruption: capture the written values now so the
-            # injected cells read back wrong regardless of how many
-            # flip events also landed on them (union, not XOR).
-            pos = np.full(self.n_rows, -1, dtype=np.int64)
-            pos[rows] = np.arange(len(rows), dtype=np.int64)
-            ni = pos[n_rows_]
-            vis = ni >= 0
-            noise_idx = ni[vis]
-            noise_cols = n_cols[vis]
-            noise_written = data_sys[noise_idx, noise_cols].copy()
         if reference_kernels_enabled():
+            data_phys = self.charge[rows] ^ self.anti_rows[
+                rows, None].astype(np.uint8)
+            data_sys = data_phys[:, self.mapping.sys_to_phys()]
+            noise_idx = noise_cols = noise_written = None
+            if len(n_rows_):
+                # Forced corruption: capture the written values now so
+                # the injected cells read back wrong regardless of how
+                # many flip events also landed on them (union, not XOR).
+                pos = np.full(self.n_rows, -1, dtype=np.int64)
+                pos[rows] = np.arange(len(rows), dtype=np.int64)
+                ni = pos[n_rows_]
+                vis = ni >= 0
+                noise_idx = ni[vis]
+                noise_cols = n_cols[vis]
+                noise_written = data_sys[noise_idx, noise_cols].copy()
             row_pos = {int(r): i for i, r in enumerate(rows)}
             for r, c in zip(f_rows, f_cols):
                 i = row_pos.get(int(r))
                 if i is not None:
                     data_sys[i, c] ^= 1
-        elif len(f_rows):
-            # Vectorised scatter with the same semantics as the loop:
-            # for duplicate rows the last occurrence wins, and repeated
-            # flips at one coordinate toggle repeatedly (xor.at).
-            pos = np.full(self.n_rows, -1, dtype=np.int64)
-            pos[rows] = np.arange(len(rows), dtype=np.int64)
+            if noise_idx is not None and len(noise_idx):
+                data_sys[noise_idx, noise_cols] = (noise_written
+                                                   ^ np.uint8(1))
+            return data_sys
+
+        # Packed path: stay word-wise until the final unpack.  Flips
+        # and noise arrive in system columns; apply them at the
+        # corresponding physical bits, then unpack and descramble.
+        s2p = self.mapping.sys_to_phys()
+        words = self.charge_words[rows].copy()
+        anti = self.anti_rows[rows]
+        inv = np.where(anti, _ONES, np.uint64(0))
+        words ^= inv[:, None]
+        words[:, -1] &= self._tail
+        pos = np.full(self.n_rows, -1, dtype=np.int64)
+        pos[rows] = np.arange(len(rows), dtype=np.int64)
+        noise_idx = noise_phys = noise_written = None
+        if len(n_rows_):
+            ni = pos[n_rows_]
+            vis = ni >= 0
+            noise_idx = ni[vis]
+            noise_phys = s2p[n_cols[vis]]
+            noise_written = gather_bits(words, noise_idx, noise_phys)
+        if len(f_rows):
             i = pos[f_rows]
             visible = i >= 0
-            np.bitwise_xor.at(data_sys, (i[visible], f_cols[visible]),
-                              np.uint8(1))
+            scatter_flip_bits(words, i[visible], s2p[f_cols[visible]])
         if noise_idx is not None and len(noise_idx):
-            data_sys[noise_idx, noise_cols] = noise_written ^ np.uint8(1)
-        return data_sys
+            scatter_assign_bits(words, noise_idx, noise_phys,
+                                noise_written ^ np.uint8(1))
+        data_phys = unpack_rows(words, self.row_bits)
+        return data_phys[:, s2p]
 
     def retention_check_cells(self, rows: np.ndarray,
                               check_row_idx: np.ndarray,
@@ -309,16 +382,34 @@ class Bank:
                      + check_cols)
         corrupted = np.zeros(len(check_enc), dtype=bool)
         if len(f_rows):
-            enc = f_rows.astype(np.int64) * self.row_bits + f_cols
-            uniq, counts = np.unique(enc, return_counts=True)
-            odd = uniq[counts % 2 == 1]
-            corrupted = np.isin(check_enc, odd)
+            # Sort the (small) flip set, keep the coordinates hit an
+            # odd number of times, and membership-test the checked
+            # cells with a binary search - cheaper than unique + isin
+            # but the same set arithmetic.
+            enc = np.sort(f_rows.astype(np.int64) * self.row_bits
+                          + f_cols)
+            starts = np.flatnonzero(np.concatenate(
+                ([True], enc[1:] != enc[:-1])))
+            counts = np.diff(np.append(starts, len(enc)))
+            odd = enc[starts[counts % 2 == 1]]
+            corrupted = self._sorted_member(odd, check_enc)
         if len(n_rows_):
             # Injected noise forces corruption - OR it in after the
             # odd-count logic so it can never cancel a flip event.
-            noise_enc = n_rows_.astype(np.int64) * self.row_bits + n_cols
-            corrupted |= np.isin(check_enc, noise_enc)
+            noise_enc = np.sort(n_rows_.astype(np.int64) * self.row_bits
+                                + n_cols)
+            corrupted |= self._sorted_member(noise_enc, check_enc)
         return corrupted
+
+    @staticmethod
+    def _sorted_member(sorted_vals: np.ndarray, queries: np.ndarray
+                       ) -> np.ndarray:
+        """Membership of ``queries`` in a sorted value array."""
+        if not len(sorted_vals):
+            return np.zeros(len(queries), dtype=bool)
+        pos = np.searchsorted(sorted_vals, queries)
+        pos[pos == len(sorted_vals)] = len(sorted_vals) - 1
+        return sorted_vals[pos] == queries
 
     def retention_read_all(self) -> np.ndarray:
         """Full-bank retention read, system order (observed data)."""

@@ -158,6 +158,9 @@ class CoupledCellPopulation:
         if min_stress is None:
             min_stress = np.zeros(n, dtype=np.float64)
         self.min_stress = np.asarray(min_stress, dtype=np.float64)
+        # Per-word-count gather plans for the packed evaluation (one
+        # bank geometry per population in practice).
+        self._packed_plans: dict = {}
 
     def __len__(self) -> int:
         return len(self.row)
@@ -338,6 +341,62 @@ class CoupledCellPopulation:
                              == v[present])
             ctx_ok &= same
 
+        exposed = (candidate & ctx_ok & (self.min_stress <= stress)
+                   & (rng.random(len(self)) < self.p_fail))
+        return exposed
+
+    def _packed_plan(self, n_words: int):
+        """Flat word indices + shifts of every cell the evaluation reads.
+
+        One ``(n, 3 + 2*MAX_CONTEXT)`` gather covers victim, both
+        aggressors, and all context cells; absent positions
+        (``NO_NEIGHBOUR``) alias the victim's own cell and are masked
+        out after the gather.  The plan depends only on the (immutable)
+        population coordinates and the bank's word count, so it is
+        built once and cached.
+        """
+        plan = self._packed_plans.get(n_words)
+        if plan is None:
+            cols = np.empty((len(self), 3 + 2 * MAX_CONTEXT),
+                            dtype=np.int64)
+            cols[:, 0] = self.phys
+            cols[:, 1] = np.where(self.left_phys == NO_NEIGHBOUR,
+                                  self.phys, self.left_phys)
+            cols[:, 2] = np.where(self.right_phys == NO_NEIGHBOUR,
+                                  self.phys, self.right_phys)
+            cols[:, 3:] = np.where(self.context == NO_NEIGHBOUR,
+                                   self.phys[:, None], self.context)
+            plan = (self.row[:, None] * n_words + (cols >> 6),
+                    (cols & 63).astype(np.uint8),
+                    self.left_phys == NO_NEIGHBOUR,
+                    self.right_phys == NO_NEIGHBOUR,
+                    self.context != NO_NEIGHBOUR)
+            self._packed_plans[n_words] = plan
+        return plan
+
+    def evaluate_failures_packed(self, charge_words: np.ndarray,
+                                 rng: np.random.Generator,
+                                 stress: float = 1.0) -> np.ndarray:
+        """Packed-kernel image of :meth:`evaluate_failures`.
+
+        Reads the bank state bit-packed (``(n_rows, n_words)`` uint64,
+        see :mod:`repro._kernels`) with a single flat gather instead of
+        per-column dense indexing.  Decision logic and RNG consumption
+        (one ``rng.random(len(self))`` draw) are identical to the
+        reference, so both produce the same mask on the same stream.
+        """
+        idx, shifts, no_left, no_right, ctx_present = self._packed_plan(
+            charge_words.shape[1])
+        flat = charge_words.reshape(-1)
+        bits = ((flat[idx] >> shifts) & np.uint64(1)).astype(np.uint8)
+        v = bits[:, 0]
+        l_charge = np.where(no_left, np.uint8(1), bits[:, 1])
+        r_charge = np.where(no_right, np.uint8(1), bits[:, 2])
+
+        interference = (self.w_left * ((v == 1) & (l_charge == 0))
+                        + self.w_right * ((v == 1) & (r_charge == 0)))
+        candidate = interference >= 1.0
+        ctx_ok = (~ctx_present | (bits[:, 3:] == v[:, None])).all(axis=1)
         exposed = (candidate & ctx_ok & (self.min_stress <= stress)
                    & (rng.random(len(self)) < self.p_fail))
         return exposed

@@ -16,9 +16,11 @@ charged cells fail).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Tuple
 
 import numpy as np
+
+from .._kernels import gather_bits
 
 __all__ = ["FaultSpec", "RandomFaultModel", "NoiseSpec",
            "DeviceNoiseModel"]
@@ -125,13 +127,33 @@ class RandomFaultModel:
             ``(rows, cols)`` coordinate arrays of cells whose read-out
             is corrupted.
         """
+        return self._flips(lambda rows, phys: charge[rows, phys], stress)
+
+    def retention_flips_packed(self, charge_words: np.ndarray,
+                               stress: float = 1.0
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Packed-kernel image of :meth:`retention_flips`.
+
+        Reads cell charge from the bit-packed bank state (see
+        :mod:`repro._kernels`).  Every RNG draw is charge-independent
+        (counts depend only on population sizes and the Poisson draw),
+        so the stream advances identically to the reference.
+        """
+        return self._flips(
+            lambda rows, phys: gather_bits(charge_words, rows, phys),
+            stress)
+
+    def _flips(self, charged: Callable[[np.ndarray, np.ndarray],
+                                       np.ndarray],
+               stress: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Shared injector logic; ``charged(rows, phys)`` reads cells."""
         rng = self._rng
         rows_list = []
         cols_list = []
 
         if len(self.weak_row):
             hit = ((self.weak_threshold <= stress)
-                   & (charge[self.weak_row, self.weak_phys] == 1))
+                   & (charged(self.weak_row, self.weak_phys) == 1))
             rows_list.append(self.weak_row[hit])
             cols_list.append(self.weak_phys[hit])
 
@@ -151,7 +173,7 @@ class RandomFaultModel:
             toggle = rng.random(len(self.vrt_row)) < self.spec.vrt_toggle_prob
             self.vrt_leaky = self.vrt_leaky ^ toggle
             hit = (self.vrt_leaky & (self.vrt_threshold <= stress)
-                   & (charge[self.vrt_row, self.vrt_phys] == 1))
+                   & (charged(self.vrt_row, self.vrt_phys) == 1))
             rows_list.append(self.vrt_row[hit])
             cols_list.append(self.vrt_phys[hit])
 
@@ -159,7 +181,7 @@ class RandomFaultModel:
             coin = rng.random(len(self.marginal_row))
             hit = ((coin < self.spec.marginal_fail_prob)
                    & (self.marginal_threshold <= stress)
-                   & (charge[self.marginal_row, self.marginal_phys] == 1))
+                   & (charged(self.marginal_row, self.marginal_phys) == 1))
             rows_list.append(self.marginal_row[hit])
             cols_list.append(self.marginal_phys[hit])
 

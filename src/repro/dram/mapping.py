@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._kernels import pack_rows, packed_words, tail_mask
+
 __all__ = [
     "AddressMapping",
     "find_step_path",
@@ -283,6 +285,17 @@ class AddressMapping:
         object.__setattr__(self, "_phys_to_sys", phys_to_sys)
         object.__setattr__(self, "_sys_to_phys", sys_to_phys)
         object.__setattr__(self, "_scramble_cache", {})
+        # Packed-kernel lookup tables: system column s lives in word
+        # _s2p_word[s], bit mask _s2p_mask[s] of a packed physical row
+        # (see docs/KERNELS.md).
+        object.__setattr__(self, "_s2p_word",
+                           (sys_to_phys >> 6).astype(np.int64))
+        object.__setattr__(self, "_s2p_mask",
+                           np.uint64(1) << (sys_to_phys & 63).astype(
+                               np.uint64))
+        object.__setattr__(self, "_packed_cache", {})
+        object.__setattr__(self, "_region_mask_cache", {})
+        object.__setattr__(self, "_region_sparse_cache", {})
 
     @property
     def n_tiles(self) -> int:
@@ -329,6 +342,113 @@ class AddressMapping:
             cached.flags.writeable = False
             self._scramble_cache[key] = cached
         return cached
+
+    # -- packed (word-wise) views -----------------------------------------
+
+    def s2p_word(self) -> np.ndarray:
+        """Per system column, its packed word index (do not mutate)."""
+        return self._s2p_word
+
+    def s2p_mask(self) -> np.ndarray:
+        """Per system column, its in-word bit mask (do not mutate)."""
+        return self._s2p_mask
+
+    def scramble_packed(self, row_sys: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized packed scramble of one system-order row pattern.
+
+        Returns ``(plain, inverted)`` - the pattern scrambled into
+        physical order and bit-packed (see :mod:`repro._kernels`), plus
+        its bitwise complement with the tail bits cleared.  Caching
+        both polarities lets the broadcast write pick the right one per
+        row (true vs anti cells) with a single ``np.where`` instead of
+        an outer XOR that would dirty the tail.  Both arrays are
+        read-only; the cache is bounded like :meth:`scramble_cached`.
+        """
+        key = row_sys.tobytes()
+        cached = self._packed_cache.get(key)
+        if cached is None:
+            if len(self._packed_cache) >= 256:
+                self._packed_cache.clear()
+            plain = pack_rows(row_sys[self._phys_to_sys])
+            inverted = ~plain
+            inverted[-1] &= tail_mask(self.row_bits)
+            plain.flags.writeable = False
+            inverted.flags.writeable = False
+            cached = (plain, inverted)
+            self._packed_cache[key] = cached
+        return cached
+
+    def region_masks(self, size: int) -> np.ndarray:
+        """Packed physical masks of the aligned system-address regions.
+
+        Row ``r`` of the result is the packed mask of physical columns
+        holding system addresses ``r*size .. (r+1)*size - 1`` - the
+        write footprint of one recursion region.  Built once per
+        ``size`` and cached on the (shared, per-vendor) mapping, so the
+        recursive region test patches spans at cost O(words) instead
+        of O(cells).  The array is read-only.
+        """
+        if size < 1 or self.row_bits % size:
+            raise ValueError(
+                f"size {size} must divide row_bits {self.row_bits}")
+        masks = self._region_mask_cache.get(size)
+        if masks is None:
+            n_regions = self.row_bits // size
+            n_w = packed_words(self.row_bits)
+            flat = np.zeros(n_regions * n_w, dtype=np.uint64)
+            region = np.arange(self.row_bits, dtype=np.int64) // size
+            np.bitwise_or.at(flat, region * n_w + self._s2p_word,
+                             self._s2p_mask)
+            masks = flat.reshape(n_regions, n_w)
+            masks.flags.writeable = False
+            self._region_mask_cache[size] = masks
+        return masks
+
+    def region_masks_sparse(self, size: int
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse form of :meth:`region_masks`: only the nonzero words.
+
+        Returns ``(word_idx, masks)``, both shaped
+        ``(n_regions, k)`` where ``k`` is the largest number of packed
+        words any region touches; shorter regions are padded with
+        zero masks (no-ops for the span-write kernel).  Deep recursion
+        levels have tiny regions, so applying ``k`` words per span
+        instead of a full row's worth is the difference between
+        O(region) and O(row) writes.  Both arrays are read-only.
+        """
+        cached = self._region_sparse_cache.get(size)
+        if cached is None:
+            dense = self.region_masks(size)
+            n_regions, _ = dense.shape
+            nz = dense != 0
+            k = int(nz.sum(axis=1).max())
+            word_idx = np.zeros((n_regions, k), dtype=np.int64)
+            masks = np.zeros((n_regions, k), dtype=np.uint64)
+            r, w = np.nonzero(nz)
+            pos = np.arange(len(r)) - np.searchsorted(r, r)
+            word_idx[r, pos] = w
+            masks[r, pos] = dense[r, w]
+            word_idx.flags.writeable = False
+            masks.flags.writeable = False
+            cached = (word_idx, masks)
+            self._region_sparse_cache[size] = cached
+        return cached
+
+    def span_masks(self, starts: np.ndarray, size: int) -> np.ndarray:
+        """Packed physical masks of arbitrary system-address spans.
+
+        Generic (uncached) fallback of :meth:`region_masks` for spans
+        that are not region-aligned; one mask row per start.
+        """
+        n_w = packed_words(self.row_bits)
+        flat = np.zeros(len(starts) * n_w, dtype=np.uint64)
+        sys_idx = (np.asarray(starts, dtype=np.int64)[:, None]
+                   + np.arange(size, dtype=np.int64)).ravel()
+        span = np.repeat(np.arange(len(starts), dtype=np.int64), size)
+        np.bitwise_or.at(flat, span * n_w + self._s2p_word[sys_idx],
+                         self._s2p_mask[sys_idx])
+        return flat.reshape(len(starts), n_w)
 
     # -- neighbour structure ----------------------------------------------
 

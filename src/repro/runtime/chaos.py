@@ -96,19 +96,27 @@ class ChaosSpec(CampaignSpec):
     def _next_attempt(self) -> int:
         """Increment and return this spec's execution count (1-based).
 
-        The count lives on disk so it survives worker crashes; a spec
-        never runs concurrently with itself, so plain read-then-write
-        is race-free.
+        The count lives on disk so it survives worker crashes.  The
+        update must be write-to-temp + ``os.replace``: a worker can be
+        SIGKILLed at any point (watchdog kill, pool-break collateral),
+        and an in-place truncating rewrite killed between open and
+        flush would leave an *empty* counter, rewinding the count and
+        replaying already-fired faults until the retry budget drains.
+        With the atomic replace a killed update merely loses its own
+        increment - the count is monotonic, so a plan slot can never
+        fire twice.
         """
         path = self._counter_path()
         try:
             with open(path) as fh:
                 count = int(fh.read().strip() or 0)
-        except FileNotFoundError:
+        except (FileNotFoundError, ValueError):
             count = 0
         count += 1
-        with open(path, "w") as fh:
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
             fh.write(str(count))
+        os.replace(tmp, path)
         return count
 
     def run(self) -> CampaignOutcome:
