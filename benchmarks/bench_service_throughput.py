@@ -1,0 +1,91 @@
+"""Campaign-service throughput: socket-to-results cost of the daemon.
+
+Runs a real ``repro serve`` daemon (subprocess, unix socket,
+``jobs=2`` so shards execute under the parallel watchdog path) and
+measures the service's two user-visible latencies on an 8-target
+campaign:
+
+* **admission latency** - submit call to durable acknowledgement
+  (the submission is fsync'd into the queue journal before the ack);
+* **completion wall clock** - submit to the last streamed result,
+  giving end-to-end shard throughput in targets/s.
+
+The floors are deliberately loose (shared CI boxes): the point is to
+catch a collapse - an accidental fsync-per-test, a scheduler spin, a
+serialization stall - not to benchmark the hardware.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.runtime import CampaignSpec, chip_seed
+
+from ._report import report
+
+ROOT_SEED = 2016
+N_TARGETS = 8
+SHARD_SIZE = 2
+JOBS = 2
+
+MAX_ADMISSION_S = 2.0
+MIN_TARGETS_PER_S = 0.2
+
+
+def _specs():
+    return [
+        CampaignSpec(experiment="characterize", vendor="ABC"[i % 3],
+                     index=i,
+                     build_seed=chip_seed(ROOT_SEED, "ABC"[i % 3], i,
+                                          "build"),
+                     run_seed=chip_seed(ROOT_SEED, "ABC"[i % 3], i,
+                                        "run"),
+                     n_rows=48, sample_size=400, run_sweep=False)
+        for i in range(N_TARGETS)
+    ]
+
+
+@pytest.mark.slow
+def test_service_throughput(tmp_path):
+    from repro.service import client
+    from tests.service.harness import start_daemon, stop_daemon
+
+    sock = tmp_path / "svc.sock"
+    proc = start_daemon(sock, tmp_path / "state",
+                        shard_size=SHARD_SIZE, jobs=JOBS,
+                        max_queued_targets=N_TARGETS)
+    try:
+        t_submit = time.perf_counter()
+        response = client.submit(str(sock), _specs(), tenant="bench")
+        t_admitted = time.perf_counter()
+        results = client.wait_results(str(sock),
+                                      response["campaign"],
+                                      timeout=600.0)
+        t_done = time.perf_counter()
+        counters = client.status(str(sock))["counters"]
+    finally:
+        assert stop_daemon(proc, sock) == 0
+
+    assert results["end"]["ok"]
+    assert len(results["results"]) == N_TARGETS
+    admission_s = t_admitted - t_submit
+    total_s = t_done - t_submit
+    shards = response["shards"]
+    throughput = N_TARGETS / total_s
+
+    rows = [
+        ["targets / shard size / jobs",
+         f"{N_TARGETS} / {SHARD_SIZE} / {JOBS}"],
+        ["admission latency (durable ack)", f"{admission_s * 1e3:.1f} ms"],
+        ["submission -> completion", f"{total_s:.2f} s"],
+        ["shard throughput", f"{shards / total_s:.2f} shards/s"],
+        ["target throughput", f"{throughput:.2f} targets/s"],
+        ["shards done (counter)",
+         f"{counters.get('proc.service.shards_done', 0):g}"],
+    ]
+    report("bench_service_throughput",
+           format_table(["Quantity", "Value"], rows))
+
+    assert admission_s < MAX_ADMISSION_S
+    assert throughput > MIN_TARGETS_PER_S

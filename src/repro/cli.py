@@ -8,8 +8,12 @@ Commands map one-to-one onto the evaluation drivers:
   (Figure 12/13).
 * ``dcref`` - the refresh-policy comparison (Figure 16).
 * ``appendix`` - the test-time arithmetic.
-* ``report`` - render a ``--trace`` JSONL capture as breakdown tables
+* ``report`` - render a ``--trace`` JSONL capture (and/or a
+  checkpoint journal via ``--journal``) as breakdown tables
   (see ``docs/OBSERVABILITY.md``).
+* ``serve`` / ``submit`` / ``status`` - the campaign service: a
+  crash-safe daemon executing sharded submissions over a unix socket
+  (see ``docs/SERVICE.md``).
 
 Every command prints a human table and optionally dumps machine-
 readable JSON with ``--json FILE``.  ``characterize``, ``compare``,
@@ -348,11 +352,25 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Render a ``--trace`` JSONL capture as breakdown tables."""
+    """Render a ``--trace`` capture and/or a checkpoint journal."""
     # Imported lazily: obs.report pulls in repro.analysis, which the
     # always-imported repro.obs package deliberately does not.
-    from .obs.report import render_report, summarise
+    from .obs.report import render_journal, render_report, summarise
     from .obs.trace import read_jsonl
+    if not args.trace_file and not args.journal:
+        print("error: nothing to render - give a TRACE file and/or "
+              "--journal FILE", file=sys.stderr)
+        return 2
+    if args.journal:
+        try:
+            print(render_journal(args.journal))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.trace_file:
+            print()
+    if not args.trace_file:
+        return 0
     try:
         records = read_jsonl(args.trace_file)
     except OSError as exc:
@@ -364,6 +382,121 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
     print(render_report(records, include_timing=not args.no_timing))
     _dump_json(args.json, summarise(records))
+    return 0
+
+
+def _build_submit_specs(args: argparse.Namespace):
+    """Specs for ``repro submit``: a file of wire-form objects, or
+    one spec per ``--vendors`` entry derived from the seed ladder."""
+    from .runtime import CampaignSpec, chip_seed
+    if args.spec_json:
+        from .service import spec_from_json
+        with open(args.spec_json) as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, list) or not payload:
+            raise SystemExit(f"error: {args.spec_json} must hold a "
+                             f"non-empty JSON list of specs")
+        return [spec_from_json(item) for item in payload]
+    return [CampaignSpec(experiment=args.experiment, vendor=v, index=1,
+                         build_seed=chip_seed(args.seed, v, 0, "build"),
+                         run_seed=chip_seed(args.seed, v, 0, "run"),
+                         n_rows=args.rows, sample_size=args.sample,
+                         run_sweep=args.sweep)
+            for v in args.vendors]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+    try:
+        config = ServiceConfig(
+            socket_path=args.socket, state_dir=args.state_dir,
+            jobs=args.jobs, shard_size=args.shard_size,
+            max_queued_targets=args.max_queued_targets,
+            retries=args.retries, shard_retries=args.shard_retries,
+            timeout_s=args.timeout,
+            max_tenant_failures=args.max_tenant_failures,
+            fsync=not args.no_fsync,
+            resume_mode=(True if args.resume == "skip" else "verify"))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving campaigns on {args.socket} "
+          f"(state in {args.state_dir})", flush=True)
+    return serve(config)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceRejected, client, spec_to_json
+    try:
+        specs = _build_submit_specs(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        response = client.submit(args.socket, specs,
+                                 tenant=args.tenant,
+                                 priority=args.priority)
+    except ServiceRejected as exc:
+        print(f"rejected: {exc} (retry after "
+              f"{exc.retry_after:g} s)", file=sys.stderr)
+        return 75  # EX_TEMPFAIL: back off and resubmit
+    except (OSError, client.ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    campaign = response["campaign"]
+    attached = " (attached to existing campaign)" \
+        if response.get("attached") else ""
+    print(f"campaign {campaign}: {response['targets']} target(s) in "
+          f"{response['shards']} shard(s){attached}")
+    _dump_json(args.json, {"campaign": campaign,
+                           "specs": [spec_to_json(s) for s in specs],
+                           **{k: response[k] for k in
+                              ("targets", "shards", "done")}})
+    if not args.wait:
+        return 0
+    results = client.wait_results(args.socket, campaign)
+    out = open(args.results, "w") if args.results else sys.stdout
+    try:
+        for record in results["results"]:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+            print(f"wrote {len(results['results'])} result records "
+                  f"to {args.results}")
+    end = results["end"]
+    if not end["ok"]:
+        print(f"campaign {campaign} finished degraded: shards "
+              f"{end['failed_shards']} failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import client
+    try:
+        status = client.status(args.socket, campaign=args.campaign)
+    except (OSError, client.ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"service {status['state']}, "
+          f"{status['pending_targets']}/{status['max_queued_targets']}"
+          f" targets queued, "
+          f"{status['corrupt_records']} corrupt queue record(s)")
+    if status["campaigns"]:
+        rows = [[c["id"], c["tenant"], c["priority"], c["targets"],
+                 f"{c['shards_done']}/{c['shards']}",
+                 c["shards_failed"], "yes" if c["done"] else ""]
+                for c in status["campaigns"]]
+        print(format_table(["Campaign", "Tenant", "Prio", "Targets",
+                            "Shards", "Failed", "Done"], rows))
+    if status["tenants"]:
+        rows = [[name, t["served"], t["failures"],
+                 "degraded" if t["degraded"] else "ok"]
+                for name, t in status["tenants"].items()]
+        print(format_table(["Tenant", "Served", "Failures", "State"],
+                           rows))
+    _dump_json(args.json, status)
     return 0
 
 
@@ -507,14 +640,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("report",
-                       help="render a --trace capture as breakdown "
-                            "tables")
-    p.add_argument("trace_file", metavar="TRACE",
+                       help="render a --trace capture and/or a "
+                            "checkpoint journal as breakdown tables")
+    p.add_argument("trace_file", metavar="TRACE", nargs="?",
+                   default=None,
                    help="JSON Lines file written by --trace")
+    p.add_argument("--journal", metavar="FILE",
+                   help="also render a checkpoint journal (tolerates "
+                        "the truncated tail of a live or killed run)")
     p.add_argument("--no-timing", action="store_true",
                    help="omit the wall-clock sections (deterministic "
                         "output for goldens/diffs)")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("serve",
+                       help="run the campaign service daemon")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket to listen on")
+    p.add_argument("--state-dir", required=True, metavar="DIR",
+                   help="durable state: queue journal, per-campaign "
+                        "checkpoints, shutdown trace")
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
+                   help="worker processes per shard (>= 2 enables "
+                        "the hung-target watchdog)")
+    p.add_argument("--shard-size", type=int, default=4, metavar="N",
+                   help="targets per schedulable shard")
+    p.add_argument("--max-queued-targets", type=int, default=64,
+                   metavar="N",
+                   help="admission bound; beyond it submissions are "
+                        "rejected with a retry-after hint")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="per-target retry budget inside a shard")
+    p.add_argument("--shard-retries", type=int, default=1,
+                   metavar="N",
+                   help="extra attempts for a shard whose fleet "
+                        "raised")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-target watchdog deadline (needs "
+                        "--jobs >= 2)")
+    p.add_argument("--max-tenant-failures", type=int, default=None,
+                   metavar="N",
+                   help="failed shards a tenant may accumulate "
+                        "before being degraded")
+    p.add_argument("--resume", choices=["verify", "skip"],
+                   default="verify",
+                   help="how restarts treat already-journaled "
+                        "targets: verify (re-run and require "
+                        "byte-identical signatures, default) or skip")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="trade crash-safety for speed: flush but do "
+                        "not fsync the queue/checkpoint journals")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a campaign to a running service")
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--spec-json", metavar="FILE",
+                   help="JSON list of wire-form specs to submit "
+                        "(overrides the spec-building flags)")
+    p.add_argument("--experiment", choices=["characterize", "compare"],
+                   default="characterize")
+    p.add_argument("--vendors", nargs="+", choices=["A", "B", "C"],
+                   default=["A"], metavar="V",
+                   help="one spec per vendor (A B C)")
+    p.add_argument("--rows", type=int, default=64)
+    p.add_argument("--sample", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--sweep", action="store_true",
+                   help="include the full verification sweep")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the campaign settles and stream "
+                        "its results as JSON Lines")
+    p.add_argument("--results", metavar="FILE",
+                   help="with --wait, write the result records to "
+                        "FILE instead of stdout")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status",
+                       help="query a running campaign service")
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--campaign", metavar="ID",
+                   help="limit to one campaign")
+    p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser("dataset",
                        help="generate the release dataset (per-module "

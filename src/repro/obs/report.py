@@ -23,7 +23,7 @@ from ..analysis.ascii import hbar_chart
 from ..analysis.tables import format_distance_set, format_table
 from .metrics import MetricsRegistry
 
-__all__ = ["render_report", "summarise"]
+__all__ = ["render_journal", "render_report", "summarise"]
 
 SpanKey = Tuple[str, int]
 
@@ -171,6 +171,56 @@ def _robustness_section(records: Sequence[Dict[str, Any]],
                                                  rows)
 
 
+def _service_section(records: Sequence[Dict[str, Any]],
+                     metrics: MetricsRegistry) -> Optional[str]:
+    """Campaign-service rollup: ``service.*`` lifecycle event counts
+    plus the ``proc.service.*`` counters (submissions, rejections,
+    shard outcomes, corrupt queue records, degraded tenants)."""
+    rows: List[List[object]] = []
+    events: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "event" \
+                and record["name"].startswith("service."):
+            events[record["name"]] = events.get(record["name"], 0) + 1
+    for name in sorted(events):
+        rows.append([name, events[name]])
+    for name, value in sorted(metrics.counters.items()):
+        if name.startswith("proc.service."):
+            rows.append([name, f"{value:g}"])
+    if not rows:
+        return None
+    return "service\n" + format_table(["Quantity", "Value"], rows)
+
+
+def render_journal(path: str) -> str:
+    """Render a checkpoint journal - live or post-mortem - as a table.
+
+    Works on the journal of a *running* (or killed) fleet: the
+    read-only loader tolerates the truncated tail an in-flight append
+    leaves behind, so this is the progress view for a campaign that
+    is still going - or the post-mortem for one that died.
+    """
+    from ..runtime.resilience import CheckpointJournal
+
+    records = CheckpointJournal.read(path)
+    head = (f"checkpoint journal {path}: {len(records)} completed "
+            f"target(s)")
+    if not records:
+        return head
+    rows: List[List[object]] = []
+    for record in records:
+        signature = record.get("signature")
+        detail = ""
+        if (isinstance(signature, list) and len(signature) > 1
+                and isinstance(signature[1], list)
+                and all(isinstance(d, int) for d in signature[1])):
+            detail = format_distance_set(signature[1])
+        rows.append([record.get("label", "?"),
+                     record.get("key", "?"), detail])
+    return head + "\n" + format_table(
+        ["Target", "Checkpoint key", "Distances"], rows)
+
+
 def _merged_metrics(records: Sequence[Dict[str, Any]]
                     ) -> MetricsRegistry:
     return MetricsRegistry.merge(
@@ -235,6 +285,7 @@ def render_report(records: Sequence[Dict[str, Any]],
     metrics = _merged_metrics(records)
     sections = _campaign_sections(records, index)
     for section in (_vendor_rollup(records), _fleet_section(records),
+                    _service_section(records, metrics),
                     _robustness_section(records, metrics),
                     _metrics_section(metrics)):
         if section:

@@ -16,8 +16,11 @@ the engine that makes such fleet campaigns cheap in the simulator:
   optimized engine is differentially tested against.
 """
 
-from .chaos import (ChaosError, ChaosSpec, NoisySpec, chaos_schedule,
-                    device_noise_schedule, wrap_spec)
+from .chaos import (ChaosError, ChaosSpec, NoisySpec,
+                    ServiceFaultPlan, apply_service_fault,
+                    chaos_schedule, corrupt_queue_record,
+                    device_noise_schedule, service_chaos_plan,
+                    wrap_spec)
 from .compat import (reference_kernels, reference_kernels_enabled,
                      use_reference_kernels)
 from .fleet import FleetExecutionError, FleetResult, run_fleet
@@ -32,8 +35,9 @@ __all__ = [
     "FleetResult", "run_fleet",
     "CheckpointJournal", "CheckpointMismatch", "TargetError",
     "TargetTimeout", "backoff_delay", "render_degraded",
-    "ChaosError", "ChaosSpec", "NoisySpec", "chaos_schedule",
-    "device_noise_schedule", "wrap_spec",
+    "ChaosError", "ChaosSpec", "NoisySpec", "ServiceFaultPlan",
+    "apply_service_fault", "chaos_schedule", "corrupt_queue_record",
+    "device_noise_schedule", "service_chaos_plan", "wrap_spec",
     "ladder_seed", "chip_seed", "module_seed", "seed_ladder",
     "reference_kernels", "reference_kernels_enabled",
     "use_reference_kernels",

@@ -44,10 +44,19 @@ from ..dram.faults import DeviceNoiseModel, NoiseSpec
 from .seeds import ladder_seed
 from .specs import CampaignOutcome, CampaignSpec
 
-__all__ = ["FAULT_KINDS", "ChaosError", "ChaosSpec", "NoisySpec",
-           "chaos_schedule", "device_noise_schedule", "wrap_spec"]
+__all__ = ["FAULT_KINDS", "SERVICE_FAULT_KINDS", "ChaosError",
+           "ChaosSpec", "NoisySpec", "ServiceFaultPlan",
+           "apply_service_fault", "chaos_schedule",
+           "corrupt_queue_record", "device_noise_schedule",
+           "service_chaos_plan", "wrap_spec"]
 
 FAULT_KINDS = ("crash", "hang", "transient", "corrupt")
+
+#: Service-level failure modes (see :func:`service_chaos_plan`):
+#: ``kill-daemon`` takes the whole daemon down mid-shard,
+#: ``hang-shard`` stalls one target past the shard watchdog,
+#: ``corrupt-queue`` tampers with a durable queue record on disk.
+SERVICE_FAULT_KINDS = ("kill-daemon", "hang-shard", "corrupt-queue")
 
 CRASH_EXIT_CODE = 23
 
@@ -205,6 +214,136 @@ def chaos_schedule(seed: int, specs: Sequence[CampaignSpec],
                 plan.append("")
         wrapped.append(wrap_spec(spec, plan, chaos_dir, hang_s=hang_s))
     return wrapped
+
+
+# -- service-level chaos ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """One seeded service-level fault: what fires, and where.
+
+    ``shard`` / ``target`` locate the victim in *checkpoint-key
+    order* - the same pure-function shard layout the service's queue
+    uses (:func:`repro.service.queue.partition_shards`) - so a plan
+    names the identical victim on every replay, resubmission, or
+    restart.
+    """
+
+    kind: str
+    shard: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(f"unknown service fault {self.kind!r}; "
+                             f"expected one of {SERVICE_FAULT_KINDS}")
+
+
+def service_chaos_plan(seed: int, n_targets: int, shard_size: int,
+                       kinds: Sequence[str] = SERVICE_FAULT_KINDS
+                       ) -> ServiceFaultPlan:
+    """Draw one seeded service fault for a campaign of ``n_targets``.
+
+    Every draw comes from ``ladder_seed(seed, "service-chaos", ...)``:
+    same seed, same fault, same victim shard/target - regardless of
+    platform or scheduling.  Distinct seeds move the fault around, so
+    a test sweeping a handful of seeds exercises kills in different
+    shards and positions.
+    """
+    if n_targets < 1:
+        raise ValueError("n_targets must be >= 1")
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    kinds = tuple(kinds)
+    for kind in kinds:
+        if kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(f"unknown service fault {kind!r}")
+    n_shards = (n_targets + shard_size - 1) // shard_size
+    kind = kinds[ladder_seed(seed, "service-chaos", "kind")
+                 % len(kinds)]
+    shard = ladder_seed(seed, "service-chaos", "shard") % n_shards
+    width = min(shard_size, n_targets - shard * shard_size)
+    target = ladder_seed(seed, "service-chaos", "target") % width
+    return ServiceFaultPlan(kind=kind, shard=shard, target=target)
+
+
+def apply_service_fault(plan: ServiceFaultPlan,
+                        specs: Sequence[CampaignSpec],
+                        chaos_dir: str, shard_size: int,
+                        hang_s: float = 60.0) -> list:
+    """Arm a service fault by wrapping the plan's victim target.
+
+    The victim (located in checkpoint-key order, mirroring the
+    service's shard layout) is wrapped so its *first* execution
+    realises the service-level failure:
+
+    * ``kill-daemon`` -> a ``"crash"`` fault.  Under the daemon's
+      in-process shard execution (``jobs=1``) the ``os._exit`` takes
+      the whole daemon down mid-shard - the moral equivalent of a
+      SIGKILL between two checkpoint appends, and exactly as
+      deterministic as the seed.
+    * ``hang-shard`` -> a ``"hang"`` fault: the target sleeps past
+      the shard watchdog (requires the daemon to run shards with
+      ``jobs >= 2``, where ``run_fleet``'s watchdog can kill it).
+    * ``corrupt-queue`` targets the journal file, not a spec - use
+      :func:`corrupt_queue_record`; the specs pass through unwrapped.
+
+    The attempt counter in ``chaos_dir`` survives the daemon (put it
+    inside the service's state dir), so after a restart the retry
+    runs clean and recovery can be asserted byte-identical.
+
+    Returns the specs in their input order, victim wrapped.
+    """
+    if plan.kind == "corrupt-queue":
+        return list(specs)
+    ordered = sorted(specs, key=lambda s: s.checkpoint_key())
+    victim = ordered[plan.shard * shard_size + plan.target]
+    fault = "crash" if plan.kind == "kill-daemon" else "hang"
+    wrapped = wrap_spec(victim, (fault,), chaos_dir, hang_s=hang_s)
+    return [wrapped if spec is victim else spec for spec in specs]
+
+
+def corrupt_queue_record(path: str, seed: int,
+                         kinds: Sequence[str] = ("shard_done",)
+                         ) -> int:
+    """Tamper with one seeded record of a service queue journal.
+
+    Rewrites the victim line as still-valid JSON whose content no
+    longer matches its CRC stamp (the signature of bit rot or a torn
+    overwrite, as opposed to a truncated tail).  Replay must *detect*
+    the mismatch and drop only that record; dropping a ``shard_done``
+    merely re-runs the shard, which the checkpoint journal then
+    verifies.
+
+    Returns the zero-based line index that was corrupted.
+
+    Raises ValueError when the journal holds no record of ``kinds``.
+    """
+    import json
+
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    victims = []
+    for idx, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and record.get("kind") in kinds:
+            victims.append((idx, record))
+    if not victims:
+        raise ValueError(f"{path}: no record of kind {tuple(kinds)} "
+                         f"to corrupt")
+    pick = ladder_seed(seed, "service-chaos", "corrupt") % len(victims)
+    idx, record = victims[pick]
+    record["tampered"] = True  # content changes, stale CRC stays
+    lines[idx] = json.dumps(record, sort_keys=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    os.replace(tmp, path)
+    return idx
 
 
 @dataclass(frozen=True)

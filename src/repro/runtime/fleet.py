@@ -542,6 +542,7 @@ def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
               max_failures: Optional[int] = None,
               checkpoint: Optional[str] = None,
               resume: Union[bool, str] = False,
+              checkpoint_fsync: bool = False,
               backoff_base: float = DEFAULT_BACKOFF_BASE,
               backoff_cap: float = DEFAULT_BACKOFF_CAP) -> FleetResult:
     """Run a fleet of campaign targets, serially or in parallel.
@@ -569,6 +570,9 @@ def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
             re-running them; ``"verify"`` re-runs them and requires
             byte-identical signatures (a mismatch is a retryable
             ``corrupt`` failure).
+        checkpoint_fsync: fsync the journal after every record, so
+            completed targets survive power-loss-style kills (the
+            service daemon runs in this mode).
         backoff_base: base delay of the deterministic exponential
             retry backoff (seconds); ``0`` disables sleeping.
         backoff_cap: upper bound on a single backoff delay.
@@ -593,7 +597,8 @@ def run_fleet(targets: Sequence[CampaignSpec], jobs: int = 1,
     if not specs:
         return FleetResult(outcomes=[], jobs=max(1, jobs))
 
-    journal = (CheckpointJournal(checkpoint, resume=bool(resume))
+    journal = (CheckpointJournal(checkpoint, resume=bool(resume),
+                                 fsync=checkpoint_fsync)
                if checkpoint else None)
     run = _FleetRun(specs, retries=retries, timeout_s=timeout_s,
                     strict=strict, max_failures=max_failures,

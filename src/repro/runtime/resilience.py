@@ -172,14 +172,23 @@ class CheckpointJournal:
     verifies the new signature against the journaled one and raises
     :class:`CheckpointMismatch` on disagreement - the corruption
     detector behind ``resume="verify"``.
+
+    ``fsync=True`` additionally fsyncs the journal after every append,
+    so records survive power-loss-style kills (SIGKILL only loses
+    unwritten *OS* buffers; a power cut loses the page cache too).
+    The service daemon (:mod:`repro.service`) runs its journals in
+    this mode; one fsync per completed *target* is bounded work that
+    shrinks relative to campaign size, exactly like the flush.
     """
 
-    def __init__(self, path: str, resume: bool = False) -> None:
+    def __init__(self, path: str, resume: bool = False,
+                 fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
         self._entries: Dict[str, Dict[str, Any]] = {}
         if resume and os.path.exists(path):
             self._read_existing()
-            self._fh = open(path, "a")
+            self._fh: Optional[Any] = open(path, "a")
         else:
             self._fh = open(path, "w")
             self._append({"kind": "checkpoint",
@@ -204,9 +213,13 @@ class CheckpointJournal:
                     self._entries[record["key"]] = record
 
     def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError("checkpoint journal is closed")
         self._fh.write(json.dumps(record, sort_keys=True))
         self._fh.write("\n")
         self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -252,10 +265,60 @@ class CheckpointJournal:
         self._entries[key] = entry
         self._append(entry)
 
+    @staticmethod
+    def read(path: str) -> List[Dict[str, Any]]:
+        """Read a journal's outcome records without opening it to write.
+
+        The read-only companion of ``resume=True``: ``repro report
+        --journal`` uses it to inspect the journal of a *running*
+        fleet, so it must neither create, truncate, nor append to the
+        file.  Returns the ``{"kind": "outcome", ...}`` records in
+        file order (payloads included), tolerating a truncated final
+        line exactly like resume does; an unsupported schema still
+        raises, because misreading a journal is worse than rejecting
+        it.
+        """
+        records: List[Dict[str, Any]] = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # truncated tail from an in-flight write
+                if record.get("kind") == "checkpoint":
+                    if record.get("schema") != CHECKPOINT_SCHEMA:
+                        raise ValueError(
+                            f"{path}: unsupported checkpoint schema "
+                            f"{record.get('schema')!r}")
+                elif record.get("kind") == "outcome":
+                    records.append(record)
+        return records
+
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        """Flush and close the journal; idempotent and signal-safe.
+
+        The handle is detached *before* it is touched, so a second
+        call - including a re-entrant one from a signal handler that
+        interrupted the first - sees None and returns immediately
+        instead of double-closing.  Errors from the final flush are
+        swallowed: close() runs on every exit path of ``run_fleet``
+        (interrupts included) and must never mask the original
+        exception; every record was already flushed when it was
+        appended.
+        """
+        fh, self._fh = self._fh, None
+        if fh is None or fh.closed:
+            return
+        try:
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            fh.close()
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            pass
 
     def __enter__(self) -> "CheckpointJournal":
         return self

@@ -1,0 +1,32 @@
+"""Campaign-as-a-service: the crash-safe sharded fleet daemon.
+
+``repro serve`` turns the deterministic fleet engine
+(:mod:`repro.runtime`) into a long-running multi-tenant service:
+submissions arrive as JSON over a unix socket, are sharded into a
+durable CRC-checked queue, scheduled fair-share across tenants, and
+executed through :func:`~repro.runtime.fleet.run_fleet` under fsync'd
+checkpoint journals - so a daemon killed mid-shard restarts and
+finishes with byte-identical results (verified, not assumed:
+``resume="verify"``).  See ``docs/SERVICE.md`` for the protocol, the
+shard lifecycle, and the failure matrix.
+
+Layering: ``protocol`` (wire format, campaign identity, record CRCs)
+-> ``queue`` (durable sharded journal) -> ``scheduler`` (fair-share +
+degradation) -> ``daemon`` (asyncio service) -> ``client`` (sync
+helpers used by the CLI and tests).
+"""
+
+from .client import (ServiceError, ServiceRejected, ping, status,
+                     submit, wait_for_service, wait_results)
+from .daemon import ReproService, ServiceConfig, serve
+from .protocol import ProtocolError, campaign_id, spec_from_json, spec_to_json
+from .queue import DurableQueue, Shard, partition_shards
+from .scheduler import FairShareScheduler
+
+__all__ = [
+    "DurableQueue", "FairShareScheduler", "ProtocolError",
+    "ReproService", "ServiceConfig", "ServiceError",
+    "ServiceRejected", "Shard", "campaign_id", "partition_shards",
+    "ping", "serve", "spec_from_json", "spec_to_json", "status",
+    "submit", "wait_for_service", "wait_results",
+]

@@ -1,0 +1,277 @@
+"""Durable sharded work queue for the campaign service.
+
+A submission (one tenant's list of campaign specs) is partitioned into
+**shards** - fixed-size groups of targets keyed and ordered by
+``CampaignSpec.checkpoint_key()`` - and the queue's whole lifecycle is
+journalled to ``<state_dir>/queue.jsonl`` as append-only JSON Lines:
+
+* header: ``{"kind": "service", "schema": 1}``;
+* ``{"kind": "submit", "id", "tenant", "priority", "specs": [...]}`` -
+  the full submission, so replay can rebuild every spec;
+* ``{"kind": "shard_done" | "shard_failed", "id", "shard", ...}``;
+* ``{"kind": "campaign_done", "id"}``.
+
+Every record carries a CRC-32 (:func:`~.protocol.record_crc`) and is
+flushed - and, by default, fsynced - as soon as it is written.  Replay
+after a crash tolerates a truncated final line and *detects* corrupted
+records: a record whose CRC disagrees is skipped and counted
+(``proc.service.corrupt_records``) instead of silently reconstructing
+wrong state.  Because shard membership is a pure function of the
+submit record, losing a ``shard_done`` line merely re-runs that shard;
+re-running is safe because shard execution is checkpointed and
+verified (see :mod:`repro.service.daemon`).
+
+Shard partitioning sorts by checkpoint key, so membership depends on
+*what* was submitted, never on the order the client listed it in; the
+submission order is kept separately for result delivery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from ..runtime.specs import CampaignSpec
+from .protocol import (PROTOCOL_SCHEMA, campaign_id, record_crc,
+                       spec_from_json, spec_to_json)
+
+__all__ = ["CampaignState", "DurableQueue", "Shard", "partition_shards"]
+
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass
+class Shard:
+    """One schedulable unit: a key-ordered slice of a campaign."""
+
+    campaign: str
+    index: int
+    specs: List[CampaignSpec]
+    done: bool = False
+    failed: bool = False
+    error: str = ""
+
+    @property
+    def pending(self) -> bool:
+        return not self.done and not self.failed
+
+
+@dataclass
+class CampaignState:
+    """A submitted campaign and the state of its shards."""
+
+    id: str
+    tenant: str
+    priority: int
+    seq: int
+    specs: List[CampaignSpec]
+    shards: List[Shard] = field(default_factory=list)
+    done: bool = False
+
+    @property
+    def targets(self) -> int:
+        return len(self.specs)
+
+    def pending_shards(self) -> List[Shard]:
+        return [shard for shard in self.shards if shard.pending]
+
+    def pending_targets(self) -> int:
+        return sum(len(s.specs) for s in self.pending_shards())
+
+    def failed_shards(self) -> List[int]:
+        return [s.index for s in self.shards if s.failed]
+
+    @property
+    def settled(self) -> bool:
+        """Every shard has a terminal state (done or failed)."""
+        return not self.pending_shards()
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "id": self.id, "tenant": self.tenant,
+            "priority": self.priority, "targets": self.targets,
+            "shards": len(self.shards),
+            "shards_done": sum(1 for s in self.shards if s.done),
+            "shards_failed": len(self.failed_shards()),
+            "done": self.done,
+        }
+
+
+def partition_shards(campaign: str, specs: Sequence[CampaignSpec],
+                     shard_size: int = DEFAULT_SHARD_SIZE
+                     ) -> List[Shard]:
+    """Split a campaign into checkpoint-key-ordered shards.
+
+    Sorting by key before chunking makes shard membership a pure
+    function of the submitted *work*, so a replayed journal, a
+    resubmission, or a differently-ordered client all shard
+    identically - which is what lets a restarted daemon re-run exactly
+    the shards the dead one never finished.
+    """
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    ordered = sorted(specs, key=lambda s: s.checkpoint_key())
+    return [Shard(campaign=campaign, index=i // shard_size,
+                  specs=list(ordered[i:i + shard_size]))
+            for i in range(0, len(ordered), shard_size)]
+
+
+class DurableQueue:
+    """Crash-safe submission queue journalled as JSON Lines.
+
+    All mutation goes through an append + flush(+fsync), so the
+    on-disk journal is never behind the in-memory state by more than
+    the record being written; a killed daemon replays the journal and
+    resumes with at most one shard's execution (not its completed
+    targets - those live in the fleet checkpoint) to redo.
+    """
+
+    def __init__(self, path: str, shard_size: int = DEFAULT_SHARD_SIZE,
+                 fsync: bool = True) -> None:
+        self.path = path
+        self.shard_size = shard_size
+        self.fsync = fsync
+        self.campaigns: Dict[str, CampaignState] = {}
+        self.corrupt_records = 0
+        self._seq = 0
+        existing = os.path.exists(path)
+        if existing:
+            self._replay()
+        self._fh: Optional[Any] = open(path, "a")
+        if not existing:
+            self._append({"kind": "service",
+                          "schema": PROTOCOL_SCHEMA})
+
+    # -- journal plumbing --------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError("queue journal is closed")
+        record = dict(record)
+        record["crc"] = record_crc(record)
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def _replay(self) -> None:
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # truncated tail from an interrupted write
+                if not isinstance(record, dict) \
+                        or record_crc(record) != record.get("crc"):
+                    self.corrupt_records += 1
+                    obs.event("service.corrupt_record",
+                              path=self.path)
+                    obs.inc("proc.service.corrupt_records")
+                    continue
+                self._apply(record)
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind == "service":
+            if record.get("schema") != PROTOCOL_SCHEMA:
+                raise ValueError(
+                    f"{self.path}: unsupported service journal "
+                    f"schema {record.get('schema')!r}")
+        elif kind == "submit":
+            specs = [spec_from_json(s) for s in record["specs"]]
+            self._admit(record["id"], record["tenant"],
+                        int(record["priority"]), specs)
+        elif kind == "shard_done":
+            campaign = self.campaigns.get(record["id"])
+            if campaign is not None:
+                campaign.shards[int(record["shard"])].done = True
+        elif kind == "shard_failed":
+            campaign = self.campaigns.get(record["id"])
+            if campaign is not None:
+                shard = campaign.shards[int(record["shard"])]
+                shard.failed = True
+                shard.error = str(record.get("error", ""))
+        elif kind == "campaign_done":
+            campaign = self.campaigns.get(record["id"])
+            if campaign is not None:
+                campaign.done = True
+
+    def _admit(self, cid: str, tenant: str, priority: int,
+               specs: List[CampaignSpec]) -> CampaignState:
+        campaign = CampaignState(
+            id=cid, tenant=tenant, priority=priority, seq=self._seq,
+            specs=specs,
+            shards=partition_shards(cid, specs, self.shard_size))
+        self._seq += 1
+        self.campaigns[cid] = campaign
+        return campaign
+
+    # -- queue interface ---------------------------------------------------
+
+    def submit(self, tenant: str, priority: int,
+               specs: Sequence[CampaignSpec]) -> CampaignState:
+        """Admit a submission (idempotent) and journal it durably."""
+        cid = campaign_id(tenant, specs)
+        existing = self.campaigns.get(cid)
+        if existing is not None:
+            return existing  # content-addressed: same work, same id
+        record = {"kind": "submit", "id": cid, "tenant": tenant,
+                  "priority": int(priority),
+                  "specs": [spec_to_json(s) for s in specs]}
+        self._append(record)  # durable before visible
+        return self._admit(cid, tenant, int(priority), list(specs))
+
+    def mark_shard_done(self, shard: Shard) -> None:
+        shard.done = True
+        self._append({"kind": "shard_done", "id": shard.campaign,
+                      "shard": shard.index})
+
+    def mark_shard_failed(self, shard: Shard, error: str) -> None:
+        shard.failed = True
+        shard.error = error
+        self._append({"kind": "shard_failed", "id": shard.campaign,
+                      "shard": shard.index, "error": error})
+
+    def mark_campaign_done(self, campaign: CampaignState) -> None:
+        campaign.done = True
+        self._append({"kind": "campaign_done", "id": campaign.id})
+
+    def pending_targets(self) -> int:
+        """Targets admitted but not yet in a terminal shard state."""
+        return sum(c.pending_targets()
+                   for c in self.campaigns.values())
+
+    def pending_shards(self) -> List[Shard]:
+        ordered: List[Shard] = []
+        for campaign in sorted(self.campaigns.values(),
+                               key=lambda c: c.seq):
+            ordered.extend(campaign.pending_shards())
+        return ordered
+
+    def close(self) -> None:
+        """Idempotent, signal-safe close (same pattern as the
+        checkpoint journal's)."""
+        fh, self._fh = self._fh, None
+        if fh is None or fh.closed:
+            return
+        try:
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            fh.close()
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            pass
+
+    def __enter__(self) -> "DurableQueue":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,121 @@
+"""Per-tenant fair-share + priority scheduling for the service.
+
+The daemon serves many tenants from one machine; the scheduler decides
+which pending shard runs next under three rules, applied in order:
+
+1. **Fair share.**  Among tenants with pending work, the one that has
+   been served the fewest *targets* goes first (weighted: a tenant
+   with ``weight=2`` is charged half as fast, so it receives twice the
+   share).  A tenant that floods the queue cannot starve the others -
+   its backlog just waits behind every lighter tenant's next shard.
+2. **Priority.**  Within a tenant, higher-priority campaigns run
+   first.
+3. **Age.**  Ties break by submission order, then shard index - FIFO,
+   and fully deterministic: the schedule is a pure function of the
+   submission history, never of wall clock or process layout.
+
+The scheduler also owns the **tenant failure ledger**: every shard
+that exhausts its retries charges its tenant, and a tenant that
+exceeds ``max_tenant_failures`` is *degraded* - its queued shards are
+parked (marked failed without running) and new submissions are
+rejected at admission, so one tenant's broken specs cannot burn the
+fleet's capacity.  Mirrors ``run_fleet``'s per-target ``max_failures``
+one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from .. import obs
+from .queue import CampaignState, Shard
+
+__all__ = ["FairShareScheduler", "TenantState"]
+
+
+@dataclass
+class TenantState:
+    """One tenant's scheduling ledger."""
+
+    name: str
+    weight: float = 1.0
+    served: float = 0.0  # weighted targets scheduled so far
+    failures: int = 0
+    degraded: bool = False
+
+    def charge(self, targets: int) -> None:
+        self.served += targets / max(self.weight, 1e-9)
+
+
+@dataclass
+class FairShareScheduler:
+    """Deterministic fair-share/priority shard picker.
+
+    Attributes:
+        max_tenant_failures: failed shards a tenant may accumulate
+            before being degraded (``None`` = never degrade).
+        tenants: per-tenant ledgers, created on first sight.
+    """
+
+    max_tenant_failures: Optional[int] = None
+    tenants: Dict[str, TenantState] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantState:
+        state = self.tenants.get(name)
+        if state is None:
+            state = self.tenants[name] = TenantState(name=name)
+        return state
+
+    def next_shard(self, pending: Sequence[Shard],
+                   campaigns: Dict[str, CampaignState]
+                   ) -> Optional[Shard]:
+        """Pick the next shard to execute, or None when idle.
+
+        ``pending`` is the queue's pending-shard list (already in
+        submission order); ``campaigns`` resolves each shard's tenant,
+        priority and submission sequence.
+        """
+        best: Optional[Shard] = None
+        best_key = None
+        for shard in pending:
+            campaign = campaigns[shard.campaign]
+            tenant = self.tenant(campaign.tenant)
+            if tenant.degraded:
+                continue
+            key = (tenant.served, tenant.name, -campaign.priority,
+                   campaign.seq, shard.index)
+            if best_key is None or key < best_key:
+                best, best_key = shard, key
+        if best is not None:
+            campaign = campaigns[best.campaign]
+            self.tenant(campaign.tenant).charge(len(best.specs))
+        return best
+
+    def note_failure(self, tenant_name: str) -> bool:
+        """Charge a shard failure; True if the tenant just degraded."""
+        tenant = self.tenant(tenant_name)
+        tenant.failures += 1
+        if (not tenant.degraded
+                and self.max_tenant_failures is not None
+                and tenant.failures > self.max_tenant_failures):
+            tenant.degraded = True
+            obs.event("service.tenant_degraded", tenant=tenant_name,
+                      failures=tenant.failures)
+            obs.inc("proc.service.degraded_tenants")
+            return True
+        return False
+
+    def degraded_shards(self, pending: Sequence[Shard],
+                        campaigns: Dict[str, CampaignState]
+                        ) -> Sequence[Shard]:
+        """Pending shards owned by degraded tenants (to be parked)."""
+        return [shard for shard in pending
+                if self.tenant(campaigns[shard.campaign].tenant)
+                .degraded]
+
+    def status(self) -> Dict[str, Dict[str, object]]:
+        return {name: {"served": round(state.served, 3),
+                       "failures": state.failures,
+                       "degraded": state.degraded}
+                for name, state in sorted(self.tenants.items())}

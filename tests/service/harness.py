@@ -1,0 +1,72 @@
+"""Shared helpers for exercising the campaign daemon as a subprocess.
+
+Every test that needs a *real* daemon - separate process, real unix
+socket, killable - goes through :func:`start_daemon`, so the chaos
+suite and the service suite drive the exact binary entry point
+(``repro.service.serve``) a production ``repro serve`` uses.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.runtime.resilience import signature_json
+from repro.service import client
+
+HERE = pathlib.Path(__file__).parent
+SRC = HERE.parents[1] / "src"
+
+DAEMON_CHILD = """\
+import json, sys
+from repro.service import ServiceConfig, serve
+sys.exit(serve(ServiceConfig(**json.loads(sys.argv[1]))))
+"""
+
+
+def start_daemon(socket_path, state_dir, wait=True, **overrides):
+    """Launch a daemon subprocess; by default block until it pings."""
+    config = {"socket_path": str(socket_path),
+              "state_dir": str(state_dir)}
+    config.update(overrides)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", DAEMON_CHILD, json.dumps(config)],
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    if wait:
+        try:
+            client.wait_for_service(str(socket_path), timeout=60.0)
+        except Exception:
+            proc.kill()
+            proc.wait()
+            raise
+    return proc
+
+
+def stop_daemon(proc, socket_path=None, timeout=60.0):
+    """Drain (when reachable) and reap; kill as a last resort."""
+    try:
+        if socket_path is not None and proc.poll() is None:
+            try:
+                client.drain(str(socket_path), timeout=timeout)
+            except (OSError, client.ServiceError):
+                pass
+        return proc.wait(timeout=timeout)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def signature_map(fleet):
+    """label -> JSON-normalised signature, for comparing against the
+    service's streamed result records."""
+    return {outcome.signature()[0]: signature_json(outcome.signature())
+            for outcome in fleet.outcomes}
+
+
+def result_signature_map(results):
+    """The same shape from ``client.wait_results`` records."""
+    assert all("signature" in record for record in results), results
+    return {record["label"]: record["signature"]
+            for record in results}

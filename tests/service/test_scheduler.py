@@ -1,0 +1,119 @@
+"""Fair-share scheduler contracts: rotation, priority, determinism,
+weights, and tenant degradation."""
+
+from repro import obs
+from repro.runtime import CampaignSpec, chip_seed
+from repro.service import FairShareScheduler, partition_shards
+from repro.service.queue import CampaignState
+
+
+def _spec(i):
+    vendor = "ABC"[i % 3]
+    return CampaignSpec(experiment="characterize", vendor=vendor,
+                        index=1 + i // 3,
+                        build_seed=chip_seed(7, vendor, i, "build"),
+                        run_seed=chip_seed(7, vendor, i, "run"),
+                        n_rows=32, sample_size=200, run_sweep=False)
+
+
+def _campaign(cid, tenant, priority, seq, n_specs=2, shard_size=2):
+    specs = [_spec(seq * 10 + i) for i in range(n_specs)]
+    return CampaignState(
+        id=cid, tenant=tenant, priority=priority, seq=seq,
+        specs=specs,
+        shards=partition_shards(cid, specs, shard_size))
+
+
+def _drain(scheduler, campaigns):
+    """Run the scheduler dry, returning the execution order."""
+    order = []
+    while True:
+        pending = [s for c in sorted(campaigns.values(),
+                                     key=lambda c: c.seq)
+                   for s in c.pending_shards()]
+        shard = scheduler.next_shard(pending, campaigns)
+        if shard is None:
+            return order
+        shard.done = True
+        order.append((shard.campaign, shard.index))
+
+
+class TestFairShare:
+    def test_tenants_alternate(self):
+        campaigns = {
+            "a": _campaign("a", "alice", 0, 0, n_specs=4),
+            "b": _campaign("b", "bob", 0, 1, n_specs=4),
+        }
+        order = _drain(FairShareScheduler(), campaigns)
+        # alice got in first (lexicographic tie-break at served=0),
+        # after which the tenants strictly alternate.
+        assert [c for c, _ in order] == ["a", "b", "a", "b"]
+
+    def test_flooding_tenant_cannot_starve_light_one(self):
+        campaigns = {
+            "flood": _campaign("flood", "flood", 0, 0, n_specs=8),
+            "light": _campaign("light", "light", 0, 1, n_specs=2),
+        }
+        order = _drain(FairShareScheduler(), campaigns)
+        # The light tenant's only shard runs second, not fifth.
+        assert order[1] == ("light", 0)
+
+    def test_priority_orders_within_tenant(self):
+        campaigns = {
+            "lo": _campaign("lo", "t", 0, 0),
+            "hi": _campaign("hi", "t", 5, 1),
+        }
+        order = _drain(FairShareScheduler(), campaigns)
+        assert order == [("hi", 0), ("lo", 0)]
+
+    def test_deterministic_for_same_submission_history(self):
+        def build():
+            return {
+                "a": _campaign("a", "t1", 0, 0, n_specs=4),
+                "b": _campaign("b", "t2", 2, 1, n_specs=4),
+                "c": _campaign("c", "t1", 1, 2, n_specs=2),
+            }
+        assert (_drain(FairShareScheduler(), build())
+                == _drain(FairShareScheduler(), build()))
+
+    def test_weight_buys_share(self):
+        scheduler = FairShareScheduler()
+        scheduler.tenant("heavy").weight = 2.0
+        campaigns = {
+            "h": _campaign("h", "heavy", 0, 0, n_specs=8),
+            "l": _campaign("l", "light", 0, 1, n_specs=8),
+        }
+        order = _drain(scheduler, campaigns)
+        # First four picks: heavy gets twice light's share.
+        assert [c for c, _ in order[:3]] == ["h", "l", "h"]
+
+
+class TestDegradation:
+    def test_degrades_past_threshold_and_fires_obs(self):
+        scheduler = FairShareScheduler(max_tenant_failures=1)
+        with obs.session("sched") as sess:
+            assert scheduler.note_failure("t") is False
+            assert scheduler.note_failure("t") is True
+            assert scheduler.note_failure("t") is False  # only once
+        assert scheduler.tenant("t").degraded
+        assert sess.metrics.counter(
+            "proc.service.degraded_tenants") == 1
+
+    def test_degraded_tenant_never_scheduled(self):
+        scheduler = FairShareScheduler(max_tenant_failures=0)
+        campaigns = {
+            "bad": _campaign("bad", "bad", 9, 0),
+            "good": _campaign("good", "good", 0, 1),
+        }
+        scheduler.note_failure("bad")
+        order = _drain(scheduler, campaigns)
+        assert [c for c, _ in order] == ["good"]
+        pending = campaigns["bad"].pending_shards()
+        assert (scheduler.degraded_shards(pending, campaigns)
+                == pending)
+
+    def test_no_threshold_never_degrades(self):
+        scheduler = FairShareScheduler()
+        for _ in range(100):
+            assert scheduler.note_failure("t") is False
+        assert not scheduler.tenant("t").degraded

@@ -99,3 +99,53 @@ class TestNewCommands:
                 "fleet.json"} <= files
         payload = json.loads((out / "campaign_B1.json").read_text())
         assert payload["magnitudes"] == [1, 64]
+
+class TestServiceCommands:
+    def test_report_journal_renders_live_journal(self, capsys,
+                                                 tmp_path):
+        from repro.runtime import CampaignSpec, chip_seed, run_fleet
+        ckpt = tmp_path / "fleet.ckpt"
+        spec = CampaignSpec(experiment="characterize", vendor="A",
+                            index=1,
+                            build_seed=chip_seed(7, "A", 0, "build"),
+                            run_seed=chip_seed(7, "A", 0, "run"),
+                            n_rows=32, sample_size=200,
+                            run_sweep=False)
+        run_fleet([spec], jobs=1, checkpoint=str(ckpt))
+        with open(ckpt, "a") as fh:
+            fh.write('{"kind": "outcome", "key": "torn')  # live tail
+        rc = main(["report", "--journal", str(ckpt)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 completed target(s)" in out
+        assert "characterize:A1" in out
+
+    def test_report_without_inputs_errors(self, capsys):
+        rc = main(["report"])
+        assert rc == 2
+        assert "nothing to render" in capsys.readouterr().err
+
+    def test_report_missing_journal_errors(self, capsys, tmp_path):
+        rc = main(["report", "--journal", str(tmp_path / "absent")])
+        assert rc == 2
+
+    def test_serve_parser_and_config_validation(self, capsys,
+                                                tmp_path):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--socket", str(tmp_path / "s.sock"),
+             "--state-dir", str(tmp_path), "--jobs", "2",
+             "--no-fsync", "--resume", "skip"])
+        assert args.resume == "skip" and args.no_fsync
+        rc = main(["serve", "--socket", str(tmp_path / "s.sock"),
+                   "--state-dir", str(tmp_path),
+                   "--max-queued-targets", "0"])
+        assert rc == 2
+        assert "max_queued_targets" in capsys.readouterr().err
+
+    def test_submit_against_dead_socket_fails_cleanly(self, capsys,
+                                                      tmp_path):
+        rc = main(["submit", "--socket", str(tmp_path / "none.sock"),
+                   "--vendors", "A"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
