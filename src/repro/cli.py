@@ -140,8 +140,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                         build_seed=args.seed, run_seed=args.seed + 1,
                         n_rows=args.rows, sample_size=args.sample,
                         run_sweep=args.rounds > 1, rounds=args.rounds)
-    fleet = _run_fleet_observed([spec], args)
-    if not fleet.outcomes:
+    ecc_spec = _ecc_companion(spec, args)
+    specs = [spec] + ([ecc_spec] if ecc_spec else [])
+    fleet = _run_fleet_observed(specs, args)
+    if len(fleet.outcomes) < len(specs):
         return 1  # degraded away entirely; table already printed
     _write_quarantine(args, fleet)
     result = fleet.outcomes[0].result
@@ -165,6 +167,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
               + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
         payload["verdicts"] = counts
         payload["quarantined"] = len(result.quarantine)
+    if ecc_spec:
+        _report_ecc(fleet.outcomes[0], fleet.outcomes[1], payload)
     _dump_json(args.json, payload)
     return 0
 
@@ -174,8 +178,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     spec = CampaignSpec(experiment="compare", vendor=args.vendor, index=1,
                         build_seed=args.seed, run_seed=args.seed + 1,
                         n_rows=args.rows, rounds=args.rounds)
-    fleet = _run_fleet_observed([spec], args)
-    if not fleet.outcomes:
+    ecc_spec = _ecc_companion(spec, args)
+    specs = [spec] + ([ecc_spec] if ecc_spec else [])
+    fleet = _run_fleet_observed(specs, args)
+    if len(fleet.outcomes) < len(specs):
         return 1  # degraded away entirely; table already printed
     _write_quarantine(args, fleet)
     comparison = fleet.outcomes[0].comparison
@@ -194,14 +200,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.rounds > 1 and result.quarantine is not None:
         rows.append(["quarantined (unstable)", len(result.quarantine)])
     print(format_table(["Quantity", "Value"], rows))
-    _dump_json(args.json, {
+    payload = {
         "module": comparison.module_id,
         "budget": comparison.budget,
         "parbor_failures": comparison.parbor_failures,
         "random_failures": comparison.random_failures,
         "extra_percent": comparison.extra_percent,
         "distances": result.distances,
-    })
+    }
+    if ecc_spec:
+        _report_ecc(fleet.outcomes[0], fleet.outcomes[1], payload)
+    _dump_json(args.json, payload)
     return 0
 
 
@@ -540,6 +549,54 @@ def _add_robust_flags(p: argparse.ArgumentParser) -> None:
                    help="write the quarantined (unstable) cells as "
                         "JSON, keyed by campaign label (requires "
                         "--rounds > 1)")
+    p.add_argument("--ecc", action="store_true",
+                   help="also run the campaign through a vendor-true "
+                        "on-die SEC-DED lens and report how the "
+                        "post-correction view distorts the profile")
+    p.add_argument("--ecc-recover", action="store_true",
+                   help="like --ecc, but BEER-infer the code on a "
+                        "probe device first and un-distort every "
+                        "read; a failed inference degrades the "
+                        "campaign fail-closed (implies --ecc)")
+
+
+def _ecc_companion(spec, args):
+    """The ECC twin of ``spec`` when ``--ecc``/``--ecc-recover`` asks
+    for one; None otherwise."""
+    if not (getattr(args, "ecc", False)
+            or getattr(args, "ecc_recover", False)):
+        return None
+    from .ecc import EccCampaignSpec
+    import dataclasses
+    mode = "recover" if args.ecc_recover else "lens"
+    return EccCampaignSpec(ecc=mode,
+                           **{f.name: getattr(spec, f.name)
+                              for f in dataclasses.fields(spec)})
+
+
+def _report_ecc(base_outcome, ecc_outcome, payload) -> None:
+    """Print the ECC distortion table and extend the JSON payload."""
+    from .ecc import ecc_distortion, format_distortion
+    dist = ecc_distortion(base_outcome, ecc_outcome)
+    print(format_distortion(dist, base_outcome.spec.label(),
+                            ecc_outcome.spec.label()))
+    degraded = getattr(getattr(ecc_outcome.result, "verdicts", None),
+                       "degraded", False)
+    if degraded:
+        print("ECC inference failed validation: campaign degraded "
+              "fail-closed (all detections quarantined, verdicts "
+              "capped at probabilistic)")
+    payload["ecc"] = {
+        "mode": ecc_outcome.spec.ecc,
+        "base_detected": dist.base_detected,
+        "observed_detected": dist.observed_detected,
+        "hidden": dist.hidden,
+        "hidden_fraction": dist.hidden_fraction,
+        "spurious": dist.spurious,
+        "base_distances": dist.base_distances,
+        "observed_distances": dist.observed_distances,
+        "degraded": bool(degraded),
+    }
 
 
 def _write_quarantine(args, fleet) -> None:

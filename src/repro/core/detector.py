@@ -263,8 +263,29 @@ def run_parbor(target: Union[DramModule, DramChip, Sequence[DramChip]],
             result.detected = verdicts.detected()
         else:
             result.detected |= sample.observed_failures
+    # Drain ECC-recovery ambiguity: cells whose pre-correction state
+    # the on-die ECC stage could not uniquely invert are surrendered
+    # to quarantine - a definite verdict through an ambiguous lens
+    # would be a guess.
+    ambiguous_cells = 0
+    for chip_idx, ctrl in enumerate(controllers):
+        for bank_idx, bank in enumerate(ctrl.chip.banks):
+            ecc = getattr(bank, "ecc", None)
+            if ecc is None or not ecc.ambiguous:
+                continue
+            if result.quarantine is None:
+                from ..robust.quarantine import QuarantineSet
+                result.quarantine = QuarantineSet()
+            p2s = bank.mapping.phys_to_sys()
+            for row, phys in sorted(ecc.ambiguous):
+                result.quarantine.add(
+                    (chip_idx, bank_idx, int(row), int(p2s[phys])),
+                    "ecc-ambiguous")
+                ambiguous_cells += 1
     result.stats = TestStats.merge(c.stats for c in controllers)
     if obs.enabled():
+        if ambiguous_cells:
+            obs.inc("profile.ecc.quarantined", ambiguous_cells)
         obs.inc("tests.discovery", result.n_discovery_tests)
         obs.inc("tests.recursion", result.n_recursion_tests)
         obs.inc("tests.sweep", result.n_sweep_rounds)

@@ -80,6 +80,14 @@ class Bank:
         #: Noise is unioned into every retention read's failures -
         #: it can only add observed corruption, never cancel a flip.
         self.noise = None
+        #: optional on-die ECC stage (:class:`repro.ecc.OnDieEcc`).
+        #: When attached, every retention read is routed through
+        #: :meth:`_observed_errors`, which collapses the raw flip/noise
+        #: events into the per-cell error set and passes it through the
+        #: per-word SEC-DED decode - readers then see the
+        #: post-correction view (or, in recovery mode, the un-distorted
+        #: raw set).
+        self.ecc = None
         self._n_words = packed_words(self.row_bits)
         self._tail = tail_mask(self.row_bits)
         #: charge state, physical order, bit-packed: shape
@@ -265,6 +273,40 @@ class Bank:
                  else empty)
         return rows, sys_cols, n_rows, n_sys
 
+    def _observed_errors(self, visible_rows: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, np.ndarray,
+                                    np.ndarray, np.ndarray]:
+        """One retention wait as the *observable* error coordinates.
+
+        Without an ECC stage - or with the *null code* attached, which
+        is the identity by construction - this is
+        :meth:`_retention_flips` verbatim (flip events with XOR
+        semantics plus separate forced-noise coords).  With a real
+        code the raw event/noise streams are routed through the
+        stage's :meth:`~repro.ecc.OnDieEcc.transform_read`, which
+        groups them into 64-bit words, derives each word's physical
+        error set, and returns the post-stage view.  In recovery mode
+        that transform is event-preserving for exactly-inverted words
+        (the streams pass through verbatim, duplicates and all), so a
+        fully recovered read is byte-identical to the ECC-off channel
+        for every downstream consumer - including multiplicity-
+        sensitive ones like the discovery fail-count histogram.
+        """
+        rows, sys_cols, n_rows, n_sys = self._retention_flips(
+            visible_rows)
+        if self.ecc is None or self.ecc.code is None:
+            return rows, sys_cols, n_rows, n_sys
+        empty = np.empty(0, dtype=np.int64)
+        s2p = self.mapping.sys_to_phys()
+        e_phys = s2p[sys_cols] if len(sys_cols) else empty
+        n_phys = s2p[n_sys] if len(n_sys) else empty
+        o_rows, o_phys, on_rows, on_phys = self.ecc.transform_read(
+            rows, e_phys, n_rows, n_phys, self.row_bits)
+        p2s = self.mapping.phys_to_sys()
+        o_sys = p2s[o_phys] if len(o_phys) else empty
+        on_sys = p2s[on_phys] if len(on_phys) else empty
+        return o_rows, o_sys, on_rows, on_sys
+
     def retention_failures(self) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate one retention wait; return failing coordinates.
 
@@ -273,9 +315,10 @@ class Bank:
             retention interval mismatches what was written - the union
             of data-dependent flips, random-fault flips, and any
             injected device noise, exactly the observable a
-            system-level test sees.
+            system-level test sees - after the on-die ECC stage, when
+            one is attached.
         """
-        rows, sys_cols, n_rows, n_sys = self._retention_flips()
+        rows, sys_cols, n_rows, n_sys = self._observed_errors()
         if len(n_rows):
             rows = np.concatenate([rows, n_rows])
             sys_cols = np.concatenate([sys_cols, n_sys])
@@ -295,7 +338,7 @@ class Bank:
         is safe).
         """
         rows = np.asarray(rows)
-        f_rows, f_cols, n_rows_, n_cols = self._retention_flips(
+        f_rows, f_cols, n_rows_, n_cols = self._observed_errors(
             visible_rows=rows if coupled_rows_only else None)
         if reference_kernels_enabled():
             data_phys = self.charge[rows] ^ self.anti_rows[
@@ -376,7 +419,7 @@ class Bank:
             read-back value differs from what was written (an odd
             number of flip events landed on the cell).
         """
-        f_rows, f_cols, n_rows_, n_cols = self._retention_flips(
+        f_rows, f_cols, n_rows_, n_cols = self._observed_errors(
             visible_rows=rows if coupled_rows_only else None)
         check_enc = (rows[check_row_idx].astype(np.int64) * self.row_bits
                      + check_cols)

@@ -11,6 +11,14 @@ One *test* = write a pattern, wait one retention interval, read back
 and compare (paper Section 2.3, "Manufacturing Tests"). Rows tested in
 different banks/rows simultaneously still count as one test - that
 parallelism is PARBOR's second key idea.
+
+When a bank carries an on-die ECC stage (:class:`repro.ecc.OnDieEcc`),
+every retention read the controller issues returns the
+*post-correction* view: single-bit failures are masked, multi-bit
+patterns may be miscorrected onto healthy cells, and injected
+miscorrections are indistinguishable from real flips at this
+interface - exactly the visibility a system-level tester has against
+a modern device.  See ``docs/ECC.md``.
 """
 
 from __future__ import annotations

@@ -23,7 +23,34 @@ import numpy as np
 from .._kernels import gather_bits
 
 __all__ = ["FaultSpec", "RandomFaultModel", "NoiseSpec",
-           "DeviceNoiseModel"]
+           "DeviceNoiseModel", "ForcedFlipNoise"]
+
+
+class ForcedFlipNoise:
+    """Deterministic read-time forced corruption at fixed cells.
+
+    The probe injector of the BEER harness (:mod:`repro.ecc.beer`) and
+    of the on-die-ECC recovery passes: every retention read of the
+    bank sees exactly these ``(row, phys_col)`` cells read back
+    corrupted, with the same union semantics as
+    :class:`DeviceNoiseModel` - written data (and hence the
+    data-dependent failure pattern) is untouched.  Stateless: no RNG,
+    no activation clock, so attaching it never perturbs the bank's
+    seeded streams.
+    """
+
+    def __init__(self, rows: np.ndarray, phys_cols: np.ndarray) -> None:
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.phys_cols = np.asarray(phys_cols, dtype=np.int64)
+
+    def reseed_coins(self, seed: int) -> None:
+        """No coin stream to reseed (kept for noise-model duck type)."""
+
+    def cells(self):
+        return self.rows, self.phys_cols
+
+    def flips(self):
+        return self.rows, self.phys_cols
 
 
 @dataclass(frozen=True)

@@ -12,10 +12,11 @@ overhead.
 """
 
 from .compare import MitigationReport, compare_mitigations
-from .ecc import EccReport, SecDedCode, ecc_coverage
+from .ecc import CLASSES, EccReport, SecDedCode, ecc_coverage
 from .retire import RetirementReport, row_retirement
 
 __all__ = [
-    "EccReport", "MitigationReport", "RetirementReport", "SecDedCode",
-    "compare_mitigations", "ecc_coverage", "row_retirement",
+    "CLASSES", "EccReport", "MitigationReport", "RetirementReport",
+    "SecDedCode", "compare_mitigations", "ecc_coverage",
+    "row_retirement",
 ]

@@ -2,12 +2,21 @@
 
 SEC-DED (single-error-correct, double-error-detect) codes protect each
 64-bit word with 8 check bits (the (72, 64) Hamming code used by
-server DIMMs). A word containing one vulnerable cell is *correctable*;
-a word with two or more vulnerable cells can produce an uncorrectable
-(or worse, miscorrected) error if both fail together under the
-worst-case content. PARBOR's map makes this analysis possible at the
-system level - without it, the system cannot even count the vulnerable
-cells per word.
+server DIMMs - and modeled bit-exactly by
+:class:`repro.ecc.HammingSecDed`). A word containing one vulnerable
+cell is *correctable*; a word with exactly two produces a detected but
+uncorrectable error; a word with three or more can *miscorrect* - the
+decoder flips a healthy bit and the corruption passes silently.
+PARBOR's map makes this analysis possible at the system level -
+without it, the system cannot even count the vulnerable cells per
+word.
+
+The three-way classification is reconciled with the bit-exact code:
+``tests/ecc/test_secded.py`` proves every single-bit error decodes
+``CORRECTED``, every double-bit error ``DETECTED``, and that
+miscorrections only ever arise at three or more simultaneous errors -
+exactly the bands :meth:`SecDedCode.classify` assigns from the count
+alone.
 """
 
 from __future__ import annotations
@@ -15,9 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Set, Tuple
 
-__all__ = ["SecDedCode", "EccReport", "ecc_coverage"]
+__all__ = ["CLASSES", "SecDedCode", "EccReport", "ecc_coverage"]
 
 Coord = Tuple[int, int, int, int]
+
+#: :meth:`SecDedCode.classify` bands, in increasing severity.
+CLASSES = ("clean", "correctable", "detect-only", "miscorrection-prone")
 
 
 @dataclass(frozen=True)
@@ -34,6 +46,24 @@ class SecDedCode:
     def correctable(self, errors_in_word: int) -> bool:
         return errors_in_word <= 1
 
+    def classify(self, errors_in_word: int) -> str:
+        """Three-way severity class of a word by vulnerable-cell count.
+
+        ``"correctable"`` (one cell: the decoder fixes it),
+        ``"detect-only"`` (two: guaranteed detected, never silently
+        wrong, but uncorrectable), ``"miscorrection-prone"`` (three or
+        more: the syndrome can alias a single-bit column and the
+        decoder then corrupts a healthy cell).  Zero cells is
+        ``"clean"``.
+        """
+        if errors_in_word <= 0:
+            return "clean"
+        if errors_in_word == 1:
+            return "correctable"
+        if errors_in_word == 2:
+            return "detect-only"
+        return "miscorrection-prone"
+
 
 @dataclass
 class EccReport:
@@ -43,15 +73,24 @@ class EccReport:
         total_vulnerable_cells: failures in the map.
         words_with_failures: distinct (row, word) groups affected.
         correctable_words: words with exactly one vulnerable cell.
-        uncorrectable_words: words with two or more.
+        detect_only_words: words with exactly two - errors are caught
+            but not fixed.
+        miscorrection_prone_words: words with three or more - the
+            decoder may silently corrupt a healthy cell.
         code: the ECC geometry analysed.
     """
 
     total_vulnerable_cells: int
     words_with_failures: int
     correctable_words: int
-    uncorrectable_words: int
+    detect_only_words: int
+    miscorrection_prone_words: int
     code: SecDedCode
+
+    @property
+    def uncorrectable_words(self) -> int:
+        """Words with two or more vulnerable cells (legacy two-way view)."""
+        return self.detect_only_words + self.miscorrection_prone_words
 
     @property
     def coverage(self) -> float:
@@ -93,9 +132,12 @@ def ecc_coverage(detected: Iterable[Coord],
         key = (chip, bank, row, col // code.data_bits)
         words[key] = words.get(key, 0) + 1
 
-    correctable = sum(1 for n in words.values() if code.correctable(n))
+    tally = {name: 0 for name in CLASSES}
+    for n in words.values():
+        tally[code.classify(n)] += 1
     return EccReport(total_vulnerable_cells=total,
                      words_with_failures=len(words),
-                     correctable_words=correctable,
-                     uncorrectable_words=len(words) - correctable,
+                     correctable_words=tally["correctable"],
+                     detect_only_words=tally["detect-only"],
+                     miscorrection_prone_words=tally["miscorrection-prone"],
                      code=code)

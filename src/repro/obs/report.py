@@ -148,10 +148,12 @@ def _fleet_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
 def _robustness_section(records: Sequence[Dict[str, Any]],
                         metrics: MetricsRegistry) -> Optional[str]:
     """Profile-robustness rollup: ``profile.*`` counters plus any
-    drift-gate trips recorded as ``profile.drift`` events."""
+    drift-gate trips recorded as ``profile.drift`` events.  The
+    ``profile.ecc.*`` counters live in their own section."""
     rows: List[List[object]] = []
     for name, value in sorted(metrics.counters.items()):
-        if name.startswith("profile."):
+        if name.startswith("profile.") \
+                and not name.startswith("profile.ecc."):
             rows.append([name, f"{value:g}"])
     drift = metrics.histograms.get("profile.drift")
     if drift and drift.get("count"):
@@ -169,6 +171,35 @@ def _robustness_section(records: Sequence[Dict[str, Any]],
         return None
     return "profile robustness\n" + format_table(["Quantity", "Value"],
                                                  rows)
+
+
+def _ecc_section(records: Sequence[Dict[str, Any]],
+                 metrics: MetricsRegistry) -> Optional[str]:
+    """On-die ECC rollup: the ``profile.ecc.*`` stage counters (words
+    decoded, masked/miscorrected cells, recovered words, quarantined
+    ambiguity) plus inference-gate trips and degraded-mode events."""
+    rows: List[List[object]] = []
+    for name, value in sorted(metrics.counters.items()):
+        if name.startswith("profile.ecc."):
+            rows.append([name, f"{value:g}"])
+    for record in records:
+        if record.get("kind") != "event":
+            continue
+        if record["name"] == "ecc.inference":
+            attrs = _attrs(record)
+            rows.append([f"inference gate trip "
+                         f"({attrs.get('context', '?')})",
+                         f"reason={attrs.get('reason', '?')} "
+                         f"strict={attrs.get('strict', '?')}"])
+        elif record["name"] == "ecc.degraded":
+            attrs = _attrs(record)
+            rows.append([f"degraded campaign "
+                         f"({attrs.get('label', '?')})",
+                         f"detections quarantined="
+                         f"{attrs.get('detections', '?')}"])
+    if not rows:
+        return None
+    return "ecc\n" + format_table(["Quantity", "Value"], rows)
 
 
 def _service_section(records: Sequence[Dict[str, Any]],
@@ -287,6 +318,7 @@ def render_report(records: Sequence[Dict[str, Any]],
     for section in (_vendor_rollup(records), _fleet_section(records),
                     _service_section(records, metrics),
                     _robustness_section(records, metrics),
+                    _ecc_section(records, metrics),
                     _metrics_section(metrics)):
         if section:
             sections.append(section)

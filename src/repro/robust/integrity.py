@@ -23,7 +23,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 from .. import obs
 
 __all__ = ["ProfileDriftError", "ProfileIntegrity", "profile_signature",
-           "check_drift"]
+           "check_drift", "EccInferenceError", "check_ecc_inference"]
 
 
 class ProfileDriftError(RuntimeError):
@@ -116,3 +116,46 @@ def check_drift(round_sets: Sequence[Set[Tuple]],
         if strict:
             raise ProfileDriftError(integrity.drift, threshold)
     return integrity
+
+
+class EccInferenceError(RuntimeError):
+    """A BEER-recovered ECC function failed validation."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(
+            f"recovered on-die ECC function cannot be trusted: {reason}")
+        self.reason = reason
+
+
+def check_ecc_inference(report, strict: bool = True,
+                        context: str = "ecc") -> bool:
+    """Gate a BEER inference the way :func:`check_drift` gates drift.
+
+    A profile read back through a *recovered* (rather than known)
+    on-die ECC function is only usable if the inference survived
+    held-out validation.  This gate fails closed: an untrusted
+    inference either raises (``strict=True``) or is recorded as an
+    ``ecc.inference`` event plus trip counter and reported back as
+    ``False``, letting the campaign degrade its verdicts instead of
+    publishing definite failures through a lens that may lie.
+
+    Args:
+        report: an :class:`repro.ecc.beer.EccInferenceReport`.
+        strict: raise :class:`EccInferenceError` on an untrusted
+            inference instead of returning False.
+        context: label for the observability event.
+
+    Returns:
+        True iff the inference may be used to un-distort profiles.
+    """
+    if obs.enabled():
+        obs.observe("ecc.validation_mismatches", report.mismatches)
+    if report.ok:
+        return True
+    obs.event("ecc.inference", context=context, ok=False,
+              reason=report.reason, checked=report.checked,
+              mismatches=report.mismatches, strict=strict)
+    obs.inc("profile.ecc.inference_gate_trips")
+    if strict:
+        raise EccInferenceError(report.reason or "validation failed")
+    return False

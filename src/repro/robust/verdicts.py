@@ -120,6 +120,10 @@ class CellVerdicts:
             ``probabilistic`` (observed once), matching the legacy
             pipeline's inclusion of discovery failures.
         policy: the policy the votes were collected under.
+        degraded: the measurement channel itself was untrusted (e.g.
+            an unrecovered on-die ECC inference distorted every read).
+            Degraded verdicts are capped at ``probabilistic``: a cell
+            can never be ``definite`` through a lens that may lie.
     """
 
     rounds: int
@@ -128,6 +132,7 @@ class CellVerdicts:
     control_failures: Set[Coord] = field(default_factory=set)
     discovery_only: Set[Coord] = field(default_factory=set)
     policy: RoundsPolicy = field(default_factory=RoundsPolicy)
+    degraded: bool = False
 
     def observed(self) -> Set[Coord]:
         """Every cell that failed anything at least once."""
@@ -143,7 +148,7 @@ class CellVerdicts:
             scored = self.scored.get(coord, self.rounds)
             if (votes == scored
                     and scored >= self.policy.definite_votes()):
-                return DEFINITE
+                return PROBABILISTIC if self.degraded else DEFINITE
             if votes >= self.policy.required_votes(scored):
                 return PROBABILISTIC
             return UNSTABLE

@@ -44,13 +44,20 @@ from ..dram.faults import DeviceNoiseModel, NoiseSpec
 from .seeds import ladder_seed
 from .specs import CampaignOutcome, CampaignSpec
 
-__all__ = ["FAULT_KINDS", "SERVICE_FAULT_KINDS", "ChaosError",
-           "ChaosSpec", "NoisySpec", "ServiceFaultPlan",
+__all__ = ["ECC_FAULT_KINDS", "FAULT_KINDS", "SERVICE_FAULT_KINDS",
+           "ChaosError", "ChaosSpec", "NoisySpec", "ServiceFaultPlan",
            "apply_service_fault", "chaos_schedule",
-           "corrupt_queue_record", "device_noise_schedule",
-           "service_chaos_plan", "wrap_spec"]
+           "corrupt_inferred_ecc", "corrupt_queue_record",
+           "device_noise_schedule", "service_chaos_plan", "wrap_spec"]
 
 FAULT_KINDS = ("crash", "hang", "transient", "corrupt")
+
+#: On-die-ECC inference faults (see :func:`corrupt_inferred_ecc`):
+#: ``stuck-syndrome`` zeroes one recovered parity-check row (a stuck
+#: syndrome bit - structurally detectable: the basis loses rank),
+#: ``wrong-matrix`` flips a single bit of one row (a plausible but
+#: wrong inference - only behavioral validation can catch it).
+ECC_FAULT_KINDS = ("stuck-syndrome", "wrong-matrix")
 
 #: Service-level failure modes (see :func:`service_chaos_plan`):
 #: ``kill-daemon`` takes the whole daemon down mid-shard,
@@ -214,6 +221,38 @@ def chaos_schedule(seed: int, specs: Sequence[CampaignSpec],
                 plan.append("")
         wrapped.append(wrap_spec(spec, plan, chaos_dir, hang_s=hang_s))
     return wrapped
+
+
+def corrupt_inferred_ecc(inferred, kind: str, seed: int):
+    """Corrupt a BEER inference result with a seeded ECC fault.
+
+    Models the two failure modes of code recovery on real silicon: a
+    stuck syndrome bit in the probe path (one parity-check row reads
+    all-zero) and a subtly wrong recovered matrix (one bit off).  The
+    campaign must never turn either into wrong definite verdicts - the
+    validation gate has to catch both and degrade to quarantine, which
+    is exactly what ``tests/chaos/test_ecc_chaos.py`` asserts.
+
+    Returns a new :class:`repro.ecc.beer.InferredEcc`; the input is
+    untouched (it is frozen).
+    """
+    import dataclasses
+
+    if kind not in ECC_FAULT_KINDS:
+        raise ValueError(f"unknown ecc fault {kind!r}; expected one "
+                         f"of {ECC_FAULT_KINDS}")
+    basis = list(inferred.basis)
+    if not basis:
+        return inferred
+    row = ladder_seed(seed, "ecc-fault", "row") % len(basis)
+    if kind == "stuck-syndrome":
+        basis[row] = 0
+    else:
+        bit = ladder_seed(seed, "ecc-fault", "bit") % 64
+        basis[row] ^= 1 << bit
+    return dataclasses.replace(
+        inferred, basis=tuple(basis),
+        note=f"chaos:{kind}@row{row}")
 
 
 # -- service-level chaos ---------------------------------------------------

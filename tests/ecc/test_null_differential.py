@@ -1,0 +1,47 @@
+"""Differential gate: threading the ECC stage itself changes nothing.
+
+A campaign run with the *null code* attached exercises the full ECC
+read-path plumbing (stage attached, bank dispatch, detector drain) but
+must be byte-identical to the stage-less campaign - same label, same
+checkpoint key, same full outcome signature.  This pins the plumbing
+so lens/recover differences are attributable to the code alone.
+"""
+
+from repro.ecc import EccCampaignSpec, OnDieEcc
+from repro.runtime import CampaignSpec
+
+KW = dict(experiment="characterize", vendor="B", build_seed=3,
+          run_seed=99, n_rows=48, sample_size=500, run_sweep=True)
+
+
+def test_null_code_signature_byte_identical():
+    base = CampaignSpec(**KW).run()
+    null = EccCampaignSpec(**KW, ecc="null").run()
+    assert null.spec.label() == base.spec.label()
+    assert null.signature() == base.signature()
+
+
+def test_null_checkpoint_key_unchanged():
+    assert (EccCampaignSpec(**KW, ecc="null").checkpoint_key()
+            == CampaignSpec(**KW).checkpoint_key())
+
+
+def test_null_robust_path_identical():
+    kw = dict(KW)
+    kw.pop("run_sweep")
+    base = CampaignSpec(**kw, rounds=2).run()
+    null = EccCampaignSpec(**kw, rounds=2, ecc="null").run()
+    assert null.signature() == base.signature()
+
+
+def test_null_stage_attached_but_inert():
+    spec = EccCampaignSpec(**KW, ecc="null")
+    assert spec.code() is None
+    chips = [type("C", (), {})()]  # not used by the null path
+
+    class FakeBank:
+        ecc = None
+    fake = type("Chip", (), {"banks": [FakeBank()]})()
+    spec._prepare_chips([fake])
+    assert isinstance(fake.banks[0].ecc, OnDieEcc)
+    assert fake.banks[0].ecc.code is None

@@ -1,0 +1,69 @@
+"""Campaign-level acceptance: the recovered profile IS the raw truth.
+
+``ecc="recover"`` campaigns must match the ECC-off ground truth
+byte-for-byte - detected set, distances, test counts, verdicts - on
+both the legacy single-pass path and the robust repeat-and-vote path,
+while ``ecc="lens"`` visibly distorts the profile.
+"""
+
+import pytest
+
+from repro.ecc import EccCampaignSpec, ecc_distortion, format_distortion
+from repro.runtime import CampaignSpec
+
+KW = dict(experiment="characterize", vendor="A", build_seed=7,
+          run_seed=2016, n_rows=48, sample_size=500)
+
+
+@pytest.fixture(scope="module")
+def base_legacy():
+    return CampaignSpec(**KW, run_sweep=True).run()
+
+
+@pytest.fixture(scope="module")
+def base_robust():
+    return CampaignSpec(**KW, rounds=2).run()
+
+
+class TestRecoverEqualsTruth:
+    def test_legacy_payload_byte_identical(self, base_legacy):
+        rec = EccCampaignSpec(**KW, run_sweep=True, ecc="recover").run()
+        # Labels differ by the "+ecc-recover" suffix; every
+        # result-bearing field must be byte-identical.
+        assert rec.signature()[1:] == base_legacy.signature()[1:]
+        assert set(rec.detected) == set(base_legacy.detected)
+        assert rec.distances == base_legacy.distances
+
+    def test_robust_payload_byte_identical(self, base_robust):
+        rec = EccCampaignSpec(**KW, rounds=2, ecc="recover").run()
+        assert rec.signature()[1:] == base_robust.signature()[1:]
+        assert (rec.result.verdicts.definite()
+                == base_robust.result.verdicts.definite())
+        assert not rec.result.verdicts.degraded
+        assert (rec.quarantine.signature()
+                == base_robust.quarantine.signature())
+
+    def test_recover_distortion_is_zero(self, base_legacy):
+        rec = EccCampaignSpec(**KW, run_sweep=True, ecc="recover").run()
+        dist = ecc_distortion(base_legacy, rec)
+        assert dist.hidden == 0
+        assert dist.spurious == 0
+
+
+class TestLensDistorts:
+    def test_lens_hides_failures(self, base_legacy):
+        lens = EccCampaignSpec(**KW, run_sweep=True, ecc="lens").run()
+        dist = ecc_distortion(base_legacy, lens)
+        assert dist.base_detected > 0
+        # Single-bit data-dependent failures dominate; the lens must
+        # hide a large majority of the raw profile.
+        assert dist.hidden_fraction > 0.5
+        table = format_distortion(dist, base_legacy.spec.label(),
+                                  lens.spec.label())
+        assert "hidden by ECC" in table
+
+    def test_lens_label_and_key_distinct(self, base_legacy):
+        lens = EccCampaignSpec(**KW, run_sweep=True, ecc="lens")
+        clean = CampaignSpec(**KW, run_sweep=True)
+        assert lens.label() == clean.label() + "+ecc"
+        assert lens.checkpoint_key() != clean.checkpoint_key()

@@ -4,8 +4,44 @@ import pytest
 
 from repro.core import ParborConfig, run_parbor
 from repro.dram import vendor
-from repro.mitigate import (SecDedCode, compare_mitigations,
+from repro.mitigate import (CLASSES, SecDedCode, compare_mitigations,
                             ecc_coverage, row_retirement)
+
+
+class TestClassify:
+    def test_bands(self):
+        code = SecDedCode()
+        assert code.classify(0) == "clean"
+        assert code.classify(1) == "correctable"
+        assert code.classify(2) == "detect-only"
+        for n in (3, 4, 17):
+            assert code.classify(n) == "miscorrection-prone"
+
+    def test_classes_ordered_by_severity(self):
+        assert CLASSES == ("clean", "correctable", "detect-only",
+                           "miscorrection-prone")
+
+    def test_three_way_report_counts(self):
+        # Word 0: one cell; word 1: two cells; word 2: three cells.
+        detected = {(0, 0, 0, 5),
+                    (0, 0, 0, 64), (0, 0, 0, 100),
+                    (0, 0, 0, 128), (0, 0, 0, 150), (0, 0, 0, 190)}
+        report = ecc_coverage(detected)
+        assert report.correctable_words == 1
+        assert report.detect_only_words == 1
+        assert report.miscorrection_prone_words == 1
+        # The legacy two-way view groups detect-only with
+        # miscorrection-prone.
+        assert report.uncorrectable_words == 2
+
+    def test_quarantined_cells_consume_correction_budget(self):
+        detected = {(0, 0, 0, 5)}
+
+        class Quarantine:
+            reasons = {(0, 0, 0, 40): "unstable"}
+        report = ecc_coverage(detected, quarantine=Quarantine())
+        assert report.correctable_words == 0
+        assert report.detect_only_words == 1
 
 
 class TestEcc:

@@ -1,0 +1,78 @@
+"""``repro report``: the "ecc" section golden.
+
+Runs ``repro characterize --ecc --trace`` at tiny geometry and pins
+the rendered report - including the new ``ecc`` section fed by the
+``profile.ecc.*`` stage counters - character-for-character.
+
+Regenerate after an intentional change with:
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/obs/test_report_ecc.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import render_report
+from repro.obs.trace import read_jsonl
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "goldens"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDENS"))
+
+TINY_ARGS = ["--vendor", "A", "--rows", "48", "--sample", "500",
+             "--seed", "2016", "--ecc"]
+
+
+def _check(name: str, text: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden {path}; run with REPRO_REGEN_GOLDENS=1")
+    assert text == path.read_text(), (
+        f"{name} drifted from its golden; if the change is intentional, "
+        f"regenerate with REPRO_REGEN_GOLDENS=1")
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "ecc_A.jsonl"
+    rc = main(["characterize", *TINY_ARGS, "--trace", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestEccReportSection:
+    def test_report_golden(self, trace_file, capsys):
+        capsys.readouterr()
+        rc = main(["report", str(trace_file), "--no-timing"])
+        assert rc == 0
+        _check("report_ecc_A", capsys.readouterr().out)
+
+    def test_ecc_section_present(self, trace_file):
+        report = render_report(read_jsonl(trace_file),
+                               include_timing=False)
+        assert "\necc\n" in f"\n{report}\n"
+        assert "profile.ecc.words" in report
+        assert "profile.ecc.masked" in report
+
+    def test_ecc_counters_not_in_robustness_section(self, trace_file):
+        report = render_report(read_jsonl(trace_file),
+                               include_timing=False)
+        robustness = [s for s in report.split("\n\n")
+                      if s.startswith("profile robustness")]
+        assert all("profile.ecc." not in s for s in robustness)
+
+    def test_plain_trace_has_no_ecc_section(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        rc = main(["characterize", "--vendor", "A", "--rows", "48",
+                   "--sample", "500", "--seed", "2016",
+                   "--trace", str(plain)])
+        assert rc == 0
+        report = render_report(read_jsonl(plain), include_timing=False)
+        assert "\necc\n" not in f"\n{report}\n"
